@@ -1,0 +1,357 @@
+// Package graphspar_test hosts the benchmark harness: one benchmark per
+// table and figure of the paper (regenerating the corresponding rows via
+// internal/exp) plus the ablation benches A1–A6 listed in DESIGN.md.
+// Benchmarks report qualitative metrics (achieved σ², edges kept, PCG
+// iterations) through b.ReportMetric so `go test -bench` output doubles as
+// an experiment log.
+package graphspar_test
+
+import (
+	"errors"
+	"testing"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/core"
+	"graphspar/internal/eig"
+	"graphspar/internal/exp"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/lsst"
+	"graphspar/internal/pcg"
+	"graphspar/internal/resistance"
+	"graphspar/internal/vecmath"
+)
+
+// benchScale keeps the full -bench=. run in CI time; cmd/experiments runs
+// bigger instances.
+const benchScale = 0.12
+
+// ------------------------------------------------------------ paper tables
+
+func BenchmarkTable1EigEstimation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(benchScale, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxMinErr, maxMaxErr float64
+		for _, r := range rows {
+			if r.LMinRelErr > maxMinErr {
+				maxMinErr = r.LMinRelErr
+			}
+			if r.LMaxRelErr > maxMaxErr {
+				maxMaxErr = r.LMaxRelErr
+			}
+		}
+		b.ReportMetric(100*maxMinErr, "max-λmin-err-%")
+		b.ReportMetric(100*maxMaxErr, "max-λmax-err-%")
+	}
+}
+
+func BenchmarkTable2PCG(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(benchScale, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n50, n200, dens50 float64
+		for _, r := range rows {
+			n50 += float64(r.Iters50)
+			n200 += float64(r.Iters200)
+			dens50 += r.Density50
+		}
+		k := float64(len(rows))
+		b.ReportMetric(n50/k, "avg-N50")
+		b.ReportMetric(n200/k, "avg-N200")
+		b.ReportMetric(dens50/k, "avg-density50")
+	}
+}
+
+func BenchmarkTable3Partition(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(benchScale, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worstErr, memRatio float64
+		for _, r := range rows {
+			if r.RelErr > worstErr {
+				worstErr = r.RelErr
+			}
+			memRatio += float64(r.DirectMem) / float64(r.IterativeMem)
+		}
+		b.ReportMetric(worstErr, "worst-sign-err")
+		b.ReportMetric(memRatio/float64(len(rows)), "avg-MD/MI")
+	}
+}
+
+func BenchmarkTable4Networks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(benchScale, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var red, lam float64
+		for _, r := range rows {
+			red += r.EdgeReduction
+			lam += r.LambdaReduce
+		}
+		k := float64(len(rows))
+		b.ReportMetric(red/k, "avg-edge-reduction-x")
+		b.ReportMetric(lam/k, "avg-λ1-reduction-x")
+	}
+}
+
+func BenchmarkFig1Drawing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig1(benchScale*2, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Correlation, "layout-correlation")
+	}
+}
+
+func BenchmarkFig2HeatSpectrum(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series, err := exp.Fig2(benchScale, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(series[0].AboveTh["sigma2=100"]), "edges-above-θ100")
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+func ablationGraph(b *testing.B, seed uint64) *graph.Graph {
+	b.Helper()
+	g, err := gen.Grid2D(48, 48, gen.UniformWeights, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func sparsifyMetrics(b *testing.B, g *graph.Graph, opt core.Options) *core.Result {
+	b.Helper()
+	res, err := core.Sparsify(g, opt)
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// A1: power-iteration depth t — the paper says t = 2 suffices.
+func BenchmarkAblationPowerSteps(b *testing.B) {
+	for _, t := range []int{1, 2, 3} {
+		b.Run(map[int]string{1: "t=1", 2: "t=2", 3: "t=3"}[t], func(b *testing.B) {
+			g := ablationGraph(b, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, T: t, Seed: uint64(i + 1)})
+				b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+				b.ReportMetric(res.SigmaSqAchieved, "σ²-achieved")
+			}
+		})
+	}
+}
+
+// A2: number of random probe vectors r.
+func BenchmarkAblationRandomVectors(b *testing.B) {
+	for _, r := range []int{1, 6, 12} {
+		name := map[int]string{1: "r=1", 6: "r=logn", 12: "r=2logn"}[r]
+		b.Run(name, func(b *testing.B) {
+			g := ablationGraph(b, 2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, NumVectors: r, Seed: uint64(i + 1)})
+				b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+				b.ReportMetric(res.SigmaSqAchieved, "σ²-achieved")
+			}
+		})
+	}
+}
+
+// A3: backbone tree construction.
+func BenchmarkAblationTreeChoice(b *testing.B) {
+	for _, alg := range []lsst.Algorithm{lsst.MaxWeight, lsst.Dijkstra, lsst.AKPW} {
+		b.Run(alg.String(), func(b *testing.B) {
+			g, err := gen.Grid2D(48, 48, gen.LogUniform, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, TreeAlg: alg, Seed: uint64(i + 1)})
+				b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+				b.ReportMetric(res.TotalStretch, "tree-stretch")
+			}
+		})
+	}
+}
+
+// A4: similarity check on/off.
+func BenchmarkAblationSimilarityCheck(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := ablationGraph(b, 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, DisableSimilarity: disable, Seed: uint64(i + 1)})
+				b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+				b.ReportMetric(res.SigmaSqAchieved, "σ²-achieved")
+			}
+		})
+	}
+}
+
+// A5: condition number vs baselines at an equal *final* edge budget.
+// Lower κ at the same edge count means a better sparsifier. The workload
+// has heterogeneous (log-uniform) weights so leverage scores are
+// non-trivial; resistances for the SS baseline are exact.
+func BenchmarkAblationBaselines(b *testing.B) {
+	g, err := gen.TriMesh(36, 36, gen.LogUniform, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Our sparsifier fixes the budget.
+	ours := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, Seed: 1})
+	budgetEdges := ours.Sparsifier.M()
+	_, treeIDs, _, err := lsst.Extract(g, lsst.MaxWeight, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	condOf := func(b *testing.B, p *graph.Graph) float64 {
+		b.Helper()
+		solver := &eig.PCGSolver{G: p, M: pcg.NewJacobi(p), Tol: 1e-8, MaxIter: 4 * p.N()}
+		lmax, err := core.EstimateLambdaMax(g, p, solver, 30, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return lmax / core.EstimateLambdaMin(g, p)
+	}
+
+	// sampleToBudget binary-searches the draw count so the *final* edge
+	// count (unique draws ∪ backbone) matches budgetEdges within 2%.
+	sampleToBudget := func(b *testing.B, mk func(q int, seed uint64) (*graph.Graph, error), seed uint64) *graph.Graph {
+		b.Helper()
+		lo, hi := budgetEdges/8, budgetEdges*64
+		var best *graph.Graph
+		for iter := 0; iter < 40 && lo < hi; iter++ {
+			mid := (lo + hi) / 2
+			sp, err := mk(mid, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			best = sp
+			diff := sp.M() - budgetEdges
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff*50 <= budgetEdges {
+				return sp
+			}
+			if sp.M() < budgetEdges {
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		return best
+	}
+
+	b.Run("similarity-aware", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, Seed: uint64(i + 1)})
+			b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+			b.ReportMetric(res.SigmaSqAchieved, "κ-est")
+		}
+	})
+	b.Run("effective-resistance", func(b *testing.B) {
+		ls, err := cholesky.NewLapSolver(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := resistance.AllEdgesExact(g, ls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sp := sampleToBudget(b, func(q int, seed uint64) (*graph.Graph, error) {
+				return resistance.SpielmanSrivastava(g, rs, resistance.SampleOptions{
+					Samples: q, Seed: seed, Backbone: treeIDs,
+				})
+			}, uint64(i+1))
+			b.ReportMetric(float64(sp.M()), "edges")
+			b.ReportMetric(condOf(b, sp), "κ-est")
+		}
+	})
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := sampleToBudget(b, func(q int, seed uint64) (*graph.Graph, error) {
+				return resistance.UniformSample(g, resistance.SampleOptions{
+					Samples: q, Seed: seed, Backbone: treeIDs,
+				})
+			}, uint64(i+1))
+			b.ReportMetric(float64(sp.M()), "edges")
+			b.ReportMetric(condOf(b, sp), "κ-est")
+		}
+	})
+}
+
+// A6: inner L_P⁺ solver inside the densification loop.
+func BenchmarkAblationInnerSolver(b *testing.B) {
+	for _, kind := range []core.SolverKind{core.Direct, core.TreePCG, core.AMG} {
+		b.Run(kind.String(), func(b *testing.B) {
+			g := ablationGraph(b, 6)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sparsifyMetrics(b, g, core.Options{SigmaSq: 80, Solver: kind, Seed: uint64(i + 1)})
+				b.ReportMetric(res.SigmaSqAchieved, "σ²-achieved")
+			}
+		})
+	}
+}
+
+// ------------------------------------------------- end-to-end sanity bench
+
+// BenchmarkEndToEndPreconditioning measures the full pipeline the library
+// exists for: sparsify once, then repeatedly solve (the multiple-RHS PCG
+// scenario of §1).
+func BenchmarkEndToEndPreconditioning(b *testing.B) {
+	g, err := gen.Grid2D(64, 64, gen.UniformWeights, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := sparsifyMetrics(b, g, core.Options{SigmaSq: 100, Seed: 1})
+	m, err := pcg.NewCholPrecond(res.Sparsifier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	rhs := make([]float64, n)
+	vecmath.NewRNG(3).FillNormal(rhs)
+	vecmath.Deflate(rhs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		r, err := pcg.SolveLaplacian(g, m, x, append([]float64(nil), rhs...), 1e-6, 10*n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Iterations), "pcg-iters")
+	}
+}

@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic workloads documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -all                  # everything at default scale
+//	experiments -table 2 -scale 2     # just Table 2, 2x CI size
+//	experiments -fig 1 -coords        # Fig 1 with a CSV coordinate dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphspar/internal/exp"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1-4)")
+		fig    = flag.Int("fig", 0, "regenerate one figure (1-2)")
+		all    = flag.Bool("all", false, "regenerate everything")
+		scale  = flag.Float64("scale", 0.5, "workload scale factor (1.0 ≈ tens of thousands of vertices)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		coords = flag.Bool("coords", false, "dump Fig 1 coordinates as CSV")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *all || *table == 1 {
+		run("table1", func() error {
+			rows, err := exp.Table1(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			exp.RenderTable1(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		run("table2", func() error {
+			rows, err := exp.Table2(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			exp.RenderTable2(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("table3", func() error {
+			rows, err := exp.Table3(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			exp.RenderTable3(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *table == 4 {
+		run("table4", func() error {
+			rows, err := exp.Table4(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			exp.RenderTable4(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *fig == 1 {
+		run("fig1", func() error {
+			r, err := exp.Fig1(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			exp.RenderFig1(os.Stdout, r, *coords)
+			return nil
+		})
+	}
+	if *all || *fig == 2 {
+		run("fig2", func() error {
+			series, err := exp.Fig2(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			exp.RenderFig2(os.Stdout, series)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"graphspar/internal/partition"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]partition.Method{
+		"direct":          partition.Direct,
+		"iterative":       partition.Iterative,
+		"sparsifier-only": partition.SparsifierOnly,
+	}
+	for s, want := range cases {
+		got, err := parseMethod(s)
+		if err != nil || got != want {
+			t.Fatalf("parseMethod(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Fatal("bogus method should fail")
+	}
+}
+
+func TestMemStr(t *testing.T) {
+	if got := memStr(2 << 30); !strings.HasSuffix(got, "GiB") {
+		t.Fatalf("memStr(2GiB) = %q", got)
+	}
+	if got := memStr(3 << 20); !strings.HasSuffix(got, "MiB") {
+		t.Fatalf("memStr(3MiB) = %q", got)
+	}
+	if got := memStr(512); !strings.HasSuffix(got, "KiB") {
+		t.Fatalf("memStr(512) = %q", got)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"graphspar/internal/lsst"
+)
+
+func TestParseTree(t *testing.T) {
+	cases := map[string]lsst.Algorithm{
+		"maxweight": lsst.MaxWeight,
+		"dijkstra":  lsst.Dijkstra,
+		"akpw":      lsst.AKPW,
+	}
+	for s, want := range cases {
+		got, err := parseTree(s)
+		if err != nil || got != want {
+			t.Fatalf("parseTree(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseTree("bogus"); err == nil {
+		t.Fatal("bogus algorithm should fail")
+	}
+}

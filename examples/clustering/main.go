@@ -1,0 +1,73 @@
+// clustering runs k-way spectral clustering on a planted-partition
+// (stochastic block model) graph, on the original Laplacian and on
+// similarity-aware sparsifiers of decreasing fidelity — showing how the
+// σ² knob trades cluster recovery against graph size (§1's data-mining
+// motivation combined with §4.4's simplification).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/cluster"
+	"graphspar/internal/core"
+	"graphspar/internal/gen"
+	"graphspar/internal/pcg"
+)
+
+func main() {
+	const k = 5
+	g, truth, err := gen.SBM(k, 200, 0.25, 0.01, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SBM: %d blocks x 200 vertices, |E|=%d\n\n", k, g.M())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\t|E|\tσ² achieved\taccuracy\ttime")
+
+	// Reference: cluster the original graph.
+	t0 := time.Now()
+	ls, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := cluster.SpectralKMeans(g, ls, cluster.Options{K: k, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accRef, err := cluster.Agreement(ref.Labels, truth, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(tw, "original\t%d\t—\t%.3f\t%s\n", g.M(), accRef, time.Since(t0).Round(time.Millisecond))
+
+	for _, s2 := range []float64{5, 20, 100} {
+		t1 := time.Now()
+		sp, err := core.Sparsify(g, core.Options{SigmaSq: s2, Seed: 3})
+		if err != nil && !errors.Is(err, core.ErrNoTarget) {
+			log.Fatal(err)
+		}
+		chol, err := pcg.NewCholPrecond(sp.Sparsifier)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cluster.SpectralKMeans(sp.Sparsifier, chol.S, cluster.Options{K: k, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := cluster.Agreement(res.Labels, truth, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "sparsifier σ²=%.0f\t%d\t%.1f\t%.3f\t%s\n",
+			s2, sp.Sparsifier.M(), sp.SigmaSqAchieved, acc, time.Since(t1).Round(time.Millisecond))
+	}
+	tw.Flush()
+	fmt.Println("\nTighter σ² keeps more of the spectrum → higher recovery; looser σ² trades accuracy for size.")
+}

@@ -1,0 +1,99 @@
+package cholesky
+
+import (
+	"container/heap"
+
+	"graphspar/internal/sparse"
+)
+
+// MinDegree computes a greedy minimum-degree elimination ordering of the
+// symmetric matrix's graph — the classic fill-reducing heuristic behind
+// AMD/CHOLMOD. Ultra-sparse near-tree matrices (spanning tree + few
+// off-tree edges, exactly what similarity-aware sparsifiers look like)
+// factor with almost no fill under this ordering, where bandwidth
+// orderings like RCM pay a large penalty.
+//
+// The implementation maintains explicit elimination-graph adjacency sets
+// and a lazy min-heap keyed by degree; the cost is O(Σ |clique|²) over
+// eliminated vertices, which is proportional to the produced fill — cheap
+// whenever the ordering is good, which is the regime we use it in.
+// Returns perm with perm[new] = old.
+func MinDegree(a *sparse.CSR) []int {
+	n := a.Rows
+	adj := make([]map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		adj[i] = make(map[int]struct{})
+	}
+	for i := 0; i < n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := a.ColIdx[p]
+			if j != i {
+				adj[i][j] = struct{}{}
+				adj[j][i] = struct{}{}
+			}
+		}
+	}
+
+	h := &degHeap{}
+	heap.Init(h)
+	for v := 0; v < n; v++ {
+		heap.Push(h, degItem{v, len(adj[v])})
+	}
+	eliminated := make([]bool, n)
+	order := make([]int, 0, n)
+	nbrs := make([]int, 0, 64)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(degItem)
+		v := it.v
+		if eliminated[v] {
+			continue
+		}
+		if it.deg != len(adj[v]) {
+			// Stale entry: reinsert with the current degree.
+			heap.Push(h, degItem{v, len(adj[v])})
+			continue
+		}
+		eliminated[v] = true
+		order = append(order, v)
+		nbrs = nbrs[:0]
+		for u := range adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		// Form the elimination clique and detach v.
+		for _, u := range nbrs {
+			delete(adj[u], v)
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				a, b := nbrs[i], nbrs[j]
+				if _, ok := adj[a][b]; !ok {
+					adj[a][b] = struct{}{}
+					adj[b][a] = struct{}{}
+				}
+			}
+		}
+		for _, u := range nbrs {
+			heap.Push(h, degItem{u, len(adj[u])})
+		}
+		adj[v] = nil
+	}
+	return order
+}
+
+type degItem struct {
+	v, deg int
+}
+
+type degHeap []degItem
+
+func (h degHeap) Len() int            { return len(h) }
+func (h degHeap) Less(i, j int) bool  { return h[i].deg < h[j].deg }
+func (h degHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *degHeap) Push(x interface{}) { *h = append(*h, x.(degItem)) }
+func (h *degHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,188 @@
+// Package cli holds the helpers shared by the graphspar command-line
+// tools: parsing graph specifications (either a MatrixMarket file path or
+// a generator spec such as "grid:200x200:uniform") and writing results.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/mm"
+)
+
+// ErrSpec reports an unparseable graph specification.
+var ErrSpec = errors.New("cli: bad graph spec")
+
+// SpecHelp describes the accepted -graph syntax for tool usage strings.
+const SpecHelp = `graph spec: a MatrixMarket file path (*.mtx), or a generator:
+  grid:ROWSxCOLS[:unit|uniform|log]      2D lattice
+  grid3d:XxYxZ[:unit|uniform|log]        3D lattice
+  trimesh:ROWSxCOLS[:unit|uniform|log]   triangulated mesh
+  annulus:RINGSxPER                      airfoil-like ring mesh
+  knn:N,K,DIM                            random geometric kNN graph
+  ba:N,M                                 Barabási–Albert
+  coauth:N,M,CLOSURE                     BA + triangle closure
+  ws:N,K,BETA                            Watts–Strogatz
+  dense:N,AVGDEG                         dense random graph
+  regular:N,D                            random regular`
+
+func weightMode(s string) (gen.WeightMode, error) {
+	switch s {
+	case "", "uniform":
+		return gen.UniformWeights, nil
+	case "unit":
+		return gen.UnitWeights, nil
+	case "log":
+		return gen.LogUniform, nil
+	default:
+		return 0, fmt.Errorf("%w: weight mode %q", ErrSpec, s)
+	}
+}
+
+func dims(s string, want int) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != want {
+		return nil, fmt.Errorf("%w: need %d dimensions in %q", ErrSpec, want, s)
+	}
+	out := make([]int, want)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func nums(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("%w: need %d values in %q", ErrSpec, want, s)
+	}
+	out := make([]float64, want)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// LoadGraph resolves a graph spec: a path to a .mtx file or a generator
+// expression (see SpecHelp).
+func LoadGraph(spec string, seed uint64) (*graph.Graph, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("%w: empty", ErrSpec)
+	}
+	if strings.HasSuffix(spec, ".mtx") {
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := mm.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		return m.ToGraph()
+	}
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "grid":
+		shape, mode, _ := strings.Cut(rest, ":")
+		d, err := dims(shape, 2)
+		if err != nil {
+			return nil, err
+		}
+		wm, err := weightMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Grid2D(d[0], d[1], wm, seed)
+	case "grid3d":
+		shape, mode, _ := strings.Cut(rest, ":")
+		d, err := dims(shape, 3)
+		if err != nil {
+			return nil, err
+		}
+		wm, err := weightMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Grid3D(d[0], d[1], d[2], wm, seed)
+	case "trimesh":
+		shape, mode, _ := strings.Cut(rest, ":")
+		d, err := dims(shape, 2)
+		if err != nil {
+			return nil, err
+		}
+		wm, err := weightMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		return gen.TriMesh(d[0], d[1], wm, seed)
+	case "annulus":
+		d, err := dims(rest, 2)
+		if err != nil {
+			return nil, err
+		}
+		g, _, err := gen.Annulus(d[0], d[1], gen.UnitWeights, seed)
+		return g, err
+	case "knn":
+		v, err := nums(rest, 3)
+		if err != nil {
+			return nil, err
+		}
+		return gen.KNN(int(v[0]), int(v[1]), int(v[2]), seed)
+	case "ba":
+		v, err := nums(rest, 2)
+		if err != nil {
+			return nil, err
+		}
+		return gen.BarabasiAlbert(int(v[0]), int(v[1]), seed)
+	case "coauth":
+		v, err := nums(rest, 3)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Coauthorship(int(v[0]), int(v[1]), v[2], seed)
+	case "ws":
+		v, err := nums(rest, 3)
+		if err != nil {
+			return nil, err
+		}
+		return gen.WattsStrogatz(int(v[0]), int(v[1]), v[2], seed)
+	case "dense":
+		v, err := nums(rest, 2)
+		if err != nil {
+			return nil, err
+		}
+		return gen.DenseRandom(int(v[0]), int(v[1]), seed)
+	case "regular":
+		v, err := nums(rest, 2)
+		if err != nil {
+			return nil, err
+		}
+		return gen.RandomRegular(int(v[0]), int(v[1]), seed)
+	default:
+		return nil, fmt.Errorf("%w: unknown generator %q", ErrSpec, kind)
+	}
+}
+
+// SaveGraph writes g as a symmetric Laplacian MatrixMarket file.
+func SaveGraph(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mm.WriteGraph(f, g)
+}

@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphGenerators(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"grid:5x6", 30},
+		{"grid:5x6:unit", 30},
+		{"grid:5x6:log", 30},
+		{"grid3d:3x3x3", 27},
+		{"trimesh:4x4:uniform", 16},
+		{"annulus:4x8", 32},
+		{"knn:100,4,2", 100},
+		{"ba:50,2", 50},
+		{"coauth:50,2,0.3", 50},
+		{"ws:40,4,0.1", 40},
+		{"dense:40,6", 40},
+		{"regular:40,4", 40},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			g, err := LoadGraph(c.spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != c.n {
+				t.Fatalf("N = %d, want %d", g.N(), c.n)
+			}
+			if !g.IsConnected() {
+				t.Fatal("generated graph must be connected")
+			}
+		})
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "nope:1", "grid:5", "grid:axb", "grid:5x5:bogus",
+		"knn:1,2", "missing-file.mtx",
+	} {
+		if _, err := LoadGraph(spec, 1); err == nil {
+			t.Fatalf("spec %q should fail", spec)
+		}
+	}
+	if _, err := LoadGraph("zzz:1,2", 1); !errors.Is(err, ErrSpec) {
+		t.Fatal("unknown generator should wrap ErrSpec")
+	}
+}
+
+func TestSaveAndLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.mtx")
+	g, err := LoadGraph("grid:4x5:uniform", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

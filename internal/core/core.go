@@ -1,0 +1,523 @@
+// Package core implements the paper's contribution: similarity-aware
+// spectral graph sparsification by edge filtering (Feng, DAC 2018).
+//
+// Given a weighted undirected connected graph G and a target spectral
+// similarity σ² (an upper bound on the relative condition number
+// κ(L_G, L_P)), Sparsify returns an ultra-sparse subgraph P built from a
+// spanning-tree backbone plus the off-tree edges whose *Joule heat* —
+// computed by t-step generalized power iterations with r random vectors
+// (eq. 6/12) — exceeds the similarity-aware threshold θσ (eq. 15). An
+// iterative densification loop (§3.7) re-estimates the extreme
+// generalized eigenvalues (λmax by power iterations §3.6.1, λmin by node
+// coloring §3.6.2) after each batch of edges until the target is met.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/eig"
+	"graphspar/internal/graph"
+	"graphspar/internal/lsst"
+	"graphspar/internal/multigrid"
+	"graphspar/internal/pcg"
+	"graphspar/internal/tree"
+	"graphspar/internal/vecmath"
+)
+
+// Errors surfaced by the sparsifier.
+var (
+	ErrBadSigma = errors.New("core: target σ² must be > 1")
+	ErrNoTarget = errors.New("core: similarity target not reached within MaxRounds")
+)
+
+// SolverKind selects how L_P⁺ is applied once the sparsifier has off-tree
+// edges (the pure tree is always solved exactly in O(n)).
+type SolverKind int
+
+// Inner solver choices (§3.7 step 1 calls for a fast L_P solver, using
+// graph-theoretic AMG in the paper; sparsifiers are ultra-sparse, so a
+// direct factorization is the fastest robust default here — ablation A6
+// compares all three).
+const (
+	// Direct refactors the current sparsifier with sparse Cholesky each
+	// densification round; solves are then exact and O(nnz(L)).
+	Direct SolverKind = iota
+	// TreePCG runs PCG preconditioned by the backbone tree.
+	TreePCG
+	// AMG runs aggregation-multigrid-preconditioned PCG.
+	AMG
+)
+
+// String names the solver kind for flags and logs.
+func (s SolverKind) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case TreePCG:
+		return "treepcg"
+	case AMG:
+		return "amg"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(s))
+	}
+}
+
+// Options configures Sparsify.
+type Options struct {
+	// SigmaSq is the target σ² ≥ κ(L_G, L_P) (e.g. 50, 100, 200). Required.
+	SigmaSq float64
+	// T is the number of generalized power-iteration steps for the edge
+	// embedding (paper: t = 2 suffices; Fig. 2 uses t = 1). Default 2.
+	T int
+	// NumVectors is r, the number of random probe vectors (paper:
+	// O(log |V|)). Default ceil(log2 n).
+	NumVectors int
+	// TreeAlg picks the backbone construction. Default lsst.MaxWeight.
+	TreeAlg lsst.Algorithm
+	// MaxRounds caps densification iterations. Default 30.
+	MaxRounds int
+	// BatchFraction caps how many passing candidates are added per round,
+	// as a fraction of the candidate list (small portions per §3.7).
+	// Default 0.25.
+	BatchFraction float64
+	// SimilarityCheck enables the per-round dissimilarity rule (§3.7 step
+	// 6): accept a candidate only if neither endpoint was claimed by an
+	// accepted edge this round. Default true (set DisableSimilarity to
+	// turn off).
+	DisableSimilarity bool
+	// Solver selects the inner L_P⁺ application. Default Direct.
+	Solver SolverKind
+	// SolverTol is the inner-solver relative tolerance for the iterative
+	// kinds (heat ranking tolerates loose solves). Default 1e-6.
+	SolverTol float64
+	// PowerIters caps λmax power iterations (paper: < 10). Default 10.
+	PowerIters int
+	// MaxEdges optionally caps the sparsifier size (tree edges included).
+	// When the budget is hit, densification stops even if the σ² target
+	// is unmet (Result is returned with ErrNoTarget in that case). Zero
+	// means unlimited. Useful for equal-budget baseline comparisons (A5).
+	MaxEdges int
+	// Seed drives every random choice. Default 1.
+	Seed uint64
+}
+
+func (o *Options) defaults(n int) error {
+	if !(o.SigmaSq > 1) {
+		return fmt.Errorf("%w: got %v", ErrBadSigma, o.SigmaSq)
+	}
+	if o.T <= 0 {
+		o.T = 2
+	}
+	if o.NumVectors <= 0 {
+		o.NumVectors = int(math.Ceil(math.Log2(float64(n + 1))))
+		if o.NumVectors < 1 {
+			o.NumVectors = 1
+		}
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 30
+	}
+	if o.BatchFraction <= 0 || o.BatchFraction > 1 {
+		o.BatchFraction = 0.25
+	}
+	if o.SolverTol <= 0 {
+		o.SolverTol = 1e-6
+	}
+	if o.PowerIters <= 0 {
+		o.PowerIters = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// RoundStats records one densification iteration.
+type RoundStats struct {
+	Round      int
+	LambdaMax  float64 // power-iteration estimate before this round's additions
+	LambdaMin  float64 // node-coloring estimate
+	SigmaSqEst float64 // λmax/λmin
+	Threshold  float64 // θσ for this round
+	Candidates int     // off-tree edges passing the heat filter
+	Added      int     // edges actually added after the similarity check
+	EdgesTotal int     // sparsifier size after the round
+}
+
+// Result is the output of Sparsify.
+type Result struct {
+	// Sparsifier is P: the backbone tree plus recovered off-tree edges,
+	// with original edge weights.
+	Sparsifier *graph.Graph
+	// Tree is the rooted backbone.
+	Tree *tree.Tree
+	// TreeEdgeIDs and OffTreeAddedIDs index into g.Edges().
+	TreeEdgeIDs     []int
+	OffTreeAddedIDs []int
+	// LambdaMax/LambdaMin are the final extreme-eigenvalue estimates of
+	// L_P⁺L_G; SigmaSqAchieved = LambdaMax/LambdaMin ≤ Options.SigmaSq on
+	// success.
+	LambdaMax, LambdaMin float64
+	SigmaSqAchieved      float64
+	// TotalStretch is st_P(G) of the backbone tree (eq. 4).
+	TotalStretch float64
+	Rounds       []RoundStats
+}
+
+// Density returns |E_P| / |V|, the sparsifier density the paper reports
+// (Table 2's |Eσ²|/|V| column).
+func (r *Result) Density() float64 {
+	return float64(r.Sparsifier.M()) / float64(r.Sparsifier.N())
+}
+
+// lapSolver matches tree.Tree and the iterative adapters.
+type lapSolver interface {
+	Solve(x, b []float64)
+}
+
+// newInnerSolver returns an L_P⁺ applier for the current sparsifier.
+func newInnerSolver(p *graph.Graph, backbone *tree.Tree, kind SolverKind, tol float64) (lapSolver, error) {
+	switch kind {
+	case Direct:
+		return cholesky.NewLapSolver(p)
+	case TreePCG:
+		return &eig.PCGSolver{G: p, M: pcg.TreePrecond{T: backbone}, Tol: tol, MaxIter: 4 * p.N()}, nil
+	case AMG:
+		h, err := multigrid.New(p, multigrid.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &amgSolver{g: p, h: h, tol: tol}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown solver kind %v", kind)
+	}
+}
+
+// amgSolver adapts multigrid cycles (wrapped in PCG for robustness) to the
+// lapSolver interface.
+type amgSolver struct {
+	g   *graph.Graph
+	h   *multigrid.Hierarchy
+	tol float64
+}
+
+func (s *amgSolver) Solve(x, b []float64) {
+	vecmath.Zero(x)
+	bb := append([]float64(nil), b...)
+	_, _ = pcg.SolveLaplacian(s.g, s.h, x, bb, s.tol, 200)
+}
+
+// EstimateLambdaMin implements the node-coloring bound of §3.6.2 (eq. 18):
+// λ̃min = min_p L_G(p,p) / L_P(p,p), the single-node restriction of the
+// Courant–Fischer quotient. It upper-bounds λmin and is exact when the
+// minimizing coloring isolates one vertex. Runs in O(n + m).
+func EstimateLambdaMin(g, p *graph.Graph) float64 {
+	dg := g.WeightedDegrees()
+	dp := p.WeightedDegrees()
+	best := math.Inf(1)
+	for i := range dg {
+		if dp[i] <= 0 {
+			continue
+		}
+		if r := dg[i] / dp[i]; r < best {
+			best = r
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 1
+	}
+	return best
+}
+
+// EstimateLambdaMax runs generalized power iterations (§3.6.1) for
+// λmax(L_P⁺L_G) with the supplied L_P⁺ applier.
+func EstimateLambdaMax(g, p *graph.Graph, solver lapSolver, iters int, seed uint64) (float64, error) {
+	res, err := eig.GeneralizedPowerMax(g, p, solver, iters, 1e-4, seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// Threshold computes θσ per eq. 15: off-tree edges whose normalized Joule
+// heat exceeds (σ²·λmin/λmax)^(2t+1) are recovered. Values ≥ 1 mean the
+// current sparsifier already meets the target.
+func Threshold(sigmaSq, lambdaMin, lambdaMax float64, t int) float64 {
+	if lambdaMax <= 0 {
+		return 1
+	}
+	base := sigmaSq * lambdaMin / lambdaMax
+	if base >= 1 {
+		return 1
+	}
+	return math.Pow(base, float64(2*t+1))
+}
+
+// EmbedOffTree computes the Joule heat of every off-tree edge by r
+// independent t-step generalized power iterations (eq. 6 summed per
+// eq. 12): heat(p,q) = Σ_j w_pq (h_t,j(p) − h_t,j(q))². The returned slice
+// is parallel to offIDs. The second return is heat_max.
+func EmbedOffTree(g *graph.Graph, solver lapSolver, offIDs []int, t, r int, seed uint64) ([]float64, float64) {
+	n := g.N()
+	heats := make([]float64, len(offIDs))
+	rng := vecmath.NewRNG(seed)
+	h := make([]float64, n)
+	y := make([]float64, n)
+	for j := 0; j < r; j++ {
+		rng.FillRademacher(h)
+		vecmath.Deflate(h)
+		for step := 0; step < t; step++ {
+			g.LapMulVec(y, h)  // y = L_G h
+			solver.Solve(h, y) // h = L_P⁺ y
+			vecmath.Deflate(h)
+		}
+		for i, id := range offIDs {
+			e := g.Edge(id)
+			d := h[e.U] - h[e.V]
+			heats[i] += e.W * d * d
+		}
+	}
+	var maxHeat float64
+	for _, v := range heats {
+		if v > maxHeat {
+			maxHeat = v
+		}
+	}
+	return heats, maxHeat
+}
+
+// Sparsify runs the full similarity-aware pipeline of §3: backbone
+// extraction, iterative embed → filter → densify rounds, and extreme
+// eigenvalue tracking. On success Result.SigmaSqAchieved ≤ opt.SigmaSq.
+// If MaxRounds is exhausted first, the best sparsifier found is returned
+// together with ErrNoTarget.
+func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
+	if err := g.RequireConnected(); err != nil {
+		return nil, err
+	}
+	if err := opt.defaults(g.N()); err != nil {
+		return nil, err
+	}
+
+	backbone, treeIDs, offIDs, err := lsst.Extract(g, opt.TreeAlg, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Tree:         backbone,
+		TreeEdgeIDs:  treeIDs,
+		TotalStretch: backbone.TotalStretch(g),
+	}
+
+	p := backbone.Graph()
+	var solver lapSolver = backbone // exact O(n) while P is the bare tree
+
+	remaining := append([]int(nil), offIDs...)
+	rng := vecmath.NewRNG(opt.Seed ^ 0x5eed)
+
+	for round := 1; round <= opt.MaxRounds; round++ {
+		lmax, err := EstimateLambdaMax(g, p, solver, opt.PowerIters, rng.Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("core: λmax estimation failed in round %d: %w", round, err)
+		}
+		lmin := EstimateLambdaMin(g, p)
+		if lmax < lmin { // estimator noise on nearly-identical graphs
+			lmax = lmin
+		}
+		stats := RoundStats{
+			Round:      round,
+			LambdaMax:  lmax,
+			LambdaMin:  lmin,
+			SigmaSqEst: lmax / lmin,
+			EdgesTotal: p.M(),
+		}
+		res.LambdaMax, res.LambdaMin = lmax, lmin
+		res.SigmaSqAchieved = lmax / lmin
+
+		if res.SigmaSqAchieved <= opt.SigmaSq || len(remaining) == 0 {
+			res.Rounds = append(res.Rounds, stats)
+			res.Sparsifier = p
+			return res, nil
+		}
+		if opt.MaxEdges > 0 && p.M() >= opt.MaxEdges {
+			res.Rounds = append(res.Rounds, stats)
+			res.Sparsifier = p
+			return res, ErrNoTarget
+		}
+
+		// Embed and filter.
+		heats, maxHeat := EmbedOffTree(g, solver, remaining, opt.T, opt.NumVectors, rng.Uint64())
+		theta := Threshold(opt.SigmaSq, lmin, lmax, opt.T)
+		stats.Threshold = theta
+
+		type cand struct {
+			pos  int // index into remaining
+			heat float64
+		}
+		var cands []cand
+		if maxHeat > 0 {
+			for i, h := range heats {
+				if h/maxHeat >= theta {
+					cands = append(cands, cand{i, h})
+				}
+			}
+		}
+		stats.Candidates = len(cands)
+		sort.Slice(cands, func(a, b int) bool { return cands[a].heat > cands[b].heat })
+
+		// Cap the batch (small portions per round, §3.7), respecting any
+		// edge budget.
+		limit := int(math.Ceil(opt.BatchFraction * float64(len(cands))))
+		if limit < 1 {
+			limit = 1
+		}
+		if opt.MaxEdges > 0 {
+			if room := opt.MaxEdges - p.M(); room < limit {
+				limit = room
+			}
+		}
+
+		// Similarity check: greedy endpoint coverage.
+		claimed := make(map[int]bool)
+		var chosen []int // indices into remaining
+		for _, c := range cands {
+			if len(chosen) >= limit {
+				break
+			}
+			e := g.Edge(remaining[c.pos])
+			if !opt.DisableSimilarity && (claimed[e.U] || claimed[e.V]) {
+				continue
+			}
+			claimed[e.U], claimed[e.V] = true, true
+			chosen = append(chosen, c.pos)
+		}
+		// Guarantee progress: if the filter+similarity pass selected
+		// nothing but the target is unmet, force the hottest edge in.
+		if len(chosen) == 0 && len(cands) > 0 {
+			chosen = append(chosen, cands[0].pos)
+		}
+		if len(chosen) == 0 {
+			// No candidate passed the filter at all: σ² estimates say the
+			// target is unmet but heats disagree. Add the globally hottest
+			// edge to keep moving (estimator noise guard).
+			best, bestHeat := -1, -1.0
+			for i, h := range heats {
+				if h > bestHeat {
+					best, bestHeat = i, h
+				}
+			}
+			if best >= 0 {
+				chosen = append(chosen, best)
+			}
+		}
+
+		var newEdges []graph.Edge
+		chosenSet := make(map[int]bool, len(chosen))
+		for _, pos := range chosen {
+			id := remaining[pos]
+			chosenSet[pos] = true
+			res.OffTreeAddedIDs = append(res.OffTreeAddedIDs, id)
+			newEdges = append(newEdges, g.Edge(id))
+		}
+		stats.Added = len(newEdges)
+		// Compact remaining.
+		kept := remaining[:0]
+		for i, id := range remaining {
+			if !chosenSet[i] {
+				kept = append(kept, id)
+			}
+		}
+		remaining = kept
+
+		p, err = p.AddEdges(newEdges)
+		if err != nil {
+			return nil, fmt.Errorf("core: densification failed: %w", err)
+		}
+		stats.EdgesTotal = p.M()
+		res.Rounds = append(res.Rounds, stats)
+
+		solver, err = newInnerSolver(p, backbone, opt.Solver, opt.SolverTol)
+		if err != nil {
+			return nil, fmt.Errorf("core: inner solver setup: %w", err)
+		}
+	}
+
+	// Final estimate after the last round's additions.
+	lmax, lerr := EstimateLambdaMax(g, p, solver, opt.PowerIters, rng.Uint64())
+	if lerr == nil {
+		lmin := EstimateLambdaMin(g, p)
+		if lmax < lmin {
+			lmax = lmin
+		}
+		res.LambdaMax, res.LambdaMin = lmax, lmin
+		res.SigmaSqAchieved = lmax / lmin
+	}
+	res.Sparsifier = p
+	if res.SigmaSqAchieved <= opt.SigmaSq {
+		return res, nil
+	}
+	return res, ErrNoTarget
+}
+
+// HeatSpectrum supports the Fig. 2 reproduction: it extracts a backbone
+// tree, runs a single embedding round (t steps, r vectors) on it, and
+// returns all off-tree heats normalized by the max, sorted descending,
+// together with the θσ thresholds for the requested σ² values.
+func HeatSpectrum(g *graph.Graph, t, r int, sigmaSqs []float64, treeAlg lsst.Algorithm, seed uint64) (norm []float64, thresholds []float64, err error) {
+	if err := g.RequireConnected(); err != nil {
+		return nil, nil, err
+	}
+	if t <= 0 {
+		t = 1
+	}
+	if r <= 0 {
+		r = int(math.Ceil(math.Log2(float64(g.N() + 1))))
+	}
+	backbone, _, offIDs, err := lsst.Extract(g, treeAlg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	heats, maxHeat := EmbedOffTree(g, backbone, offIDs, t, r, seed)
+	if maxHeat == 0 {
+		return nil, nil, errors.New("core: graph has no off-tree heat (already a tree?)")
+	}
+	norm = make([]float64, len(heats))
+	for i, h := range heats {
+		norm[i] = h / maxHeat
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(norm)))
+
+	p := backbone.Graph()
+	lmax, err := EstimateLambdaMax(g, p, backbone, 10, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	lmin := EstimateLambdaMin(g, p)
+	thresholds = make([]float64, len(sigmaSqs))
+	for i, s2 := range sigmaSqs {
+		thresholds[i] = Threshold(s2, lmin, lmax, t)
+	}
+	return norm, thresholds, nil
+}
+
+// VerifySimilarity independently estimates κ(L_G, L_P) with a k-step
+// generalized Lanczos (the "eigs" reference) and reports
+// (λmax, λmin, κ). Used by the harness to check the guarantee.
+func VerifySimilarity(g, p *graph.Graph, solver lapSolver, k int, seed uint64) (lmax, lmin, cond float64, err error) {
+	vals, err := eig.GeneralizedLanczos(g, p, solver, k, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(vals) == 0 {
+		return 0, 0, 0, errors.New("core: Lanczos returned no Ritz values")
+	}
+	lmin, lmax = vals[0], vals[len(vals)-1]
+	if lmin < 1 {
+		lmin = 1 // interlacing guarantees λmin ≥ 1 for subgraphs
+	}
+	return lmax, lmin, lmax / lmin, nil
+}

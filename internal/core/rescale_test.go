@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"graphspar/internal/gen"
+)
+
+func TestRescaleOffTreeImprovesOrKeeps(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, gen.UniformWeights, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sparsify(g, Options{SigmaSq: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RescaleOffTree(g, res, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-scaling must never hurt the estimated condition number (γ=1 is
+	// in the grid).
+	if rr.SigmaSq > res.SigmaSqAchieved+1e-9 {
+		t.Fatalf("rescale worsened σ²: %v > %v", rr.SigmaSq, res.SigmaSqAchieved)
+	}
+	if rr.Gamma < 1 {
+		t.Fatalf("gamma %v < 1", rr.Gamma)
+	}
+	if rr.Sparsifier.M() != res.Sparsifier.M() {
+		t.Fatal("rescaling must not change edge count")
+	}
+}
+
+func TestRescaleOffTreeNoOffTreeEdges(t *testing.T) {
+	// A tree input has no off-tree edges: rescale is a no-op.
+	g, _ := gen.Path(12)
+	res, err := Sparsify(g, Options{SigmaSq: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RescaleOffTree(g, res, []float64{2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Gamma != 1 || rr.Sparsifier != res.Sparsifier {
+		t.Fatal("tree rescale should be identity")
+	}
+}
+
+func TestRescaleOffTreeValidation(t *testing.T) {
+	g, _ := gen.Grid2D(6, 6, gen.UniformWeights, 1)
+	if _, err := RescaleOffTree(g, nil, nil, 1); err == nil {
+		t.Fatal("nil result should fail")
+	}
+	res, err := Sparsify(g, Options{SigmaSq: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OffTreeAddedIDs) > 0 {
+		if _, err := RescaleOffTree(g, res, []float64{-2}, 1); err == nil {
+			t.Fatal("negative gamma should fail")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+
+	"graphspar/internal/graph"
+	"graphspar/internal/vecmath"
+)
+
+// EstimateTrace computes a Hutchinson estimate of Trace(L_P⁺ L_G) with the
+// given number of Rademacher probes: trace ≈ mean_j zⱼᵀ L_P⁺ L_G zⱼ.
+// By eq. 4 this equals the total stretch st_P(G) when P is a spanning
+// tree, which the tests exploit as an exact cross-check against the
+// LCA-based stretch computation.
+func EstimateTrace(g *graph.Graph, solver lapSolver, probes int, seed uint64) (float64, error) {
+	if probes < 1 {
+		return 0, errors.New("core: need at least one probe")
+	}
+	n := g.N()
+	rng := vecmath.NewRNG(seed)
+	z := make([]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	var sum float64
+	for j := 0; j < probes; j++ {
+		rng.FillRademacher(z)
+		vecmath.Deflate(z)
+		g.LapMulVec(y, z)  // y = L_G z
+		solver.Solve(w, y) // w = L_P⁺ L_G z
+		sum += vecmath.Dot(z, w)
+	}
+	return sum / float64(probes), nil
+}
+
+// RefineLambdaMin improves the single-node coloring bound of eq. 18 by
+// greedy local search over the 0/1 coloring of eq. 17: starting from the
+// best single vertex, it repeatedly adds the neighbor that most decreases
+// the cut-ratio Σ_{cut(G)} w / Σ_{cut(P)} w, for up to `sweeps` growth
+// steps. The result is never worse than EstimateLambdaMin and remains an
+// upper bound on λmin by Courant–Fischer.
+func RefineLambdaMin(g, p *graph.Graph, sweeps int) float64 {
+	base := EstimateLambdaMin(g, p)
+	if sweeps <= 0 {
+		return base
+	}
+	n := g.N()
+	dg := g.WeightedDegrees()
+	dp := p.WeightedDegrees()
+	// Seed: the arg-min vertex of the single-node bound.
+	seedV, bestRatio := -1, base
+	for v := 0; v < n; v++ {
+		if dp[v] > 0 {
+			if r := dg[v] / dp[v]; r <= bestRatio {
+				bestRatio, seedV = r, v
+			}
+		}
+	}
+	if seedV < 0 {
+		return base
+	}
+	inSet := make([]bool, n)
+	inSet[seedV] = true
+	// Track cut weights for the current set S.
+	cutG, cutP := dg[seedV], dp[seedV]
+	best := bestRatio
+
+	// deltaOf computes the cut changes from adding v to S.
+	deltaOf := func(v int, gr *graph.Graph) float64 {
+		var inside float64
+		gr.Neighbors(v, func(u int, w float64, _ int) bool {
+			if inSet[u] {
+				inside += w
+			}
+			return true
+		})
+		// New cut = old cut + deg(v) - 2*inside.
+		deg := gr.WeightedDegree(v)
+		return deg - 2*inside
+	}
+
+	for step := 0; step < sweeps; step++ {
+		// Candidates: frontier vertices (neighbors of S in G).
+		cand := map[int]bool{}
+		for v := 0; v < n; v++ {
+			if !inSet[v] {
+				continue
+			}
+			g.Neighbors(v, func(u int, _ float64, _ int) bool {
+				if !inSet[u] {
+					cand[u] = true
+				}
+				return true
+			})
+		}
+		bestV, bestNew := -1, best
+		for v := range cand {
+			ng := cutG + deltaOf(v, g)
+			np := cutP + deltaOf(v, p)
+			if np <= 1e-300 {
+				continue
+			}
+			if r := ng / np; r < bestNew {
+				bestNew, bestV = r, v
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		cutG += deltaOf(bestV, g)
+		cutP += deltaOf(bestV, p)
+		inSet[bestV] = true
+		best = bestNew
+	}
+	if best < base {
+		return best
+	}
+	return base
+}

@@ -1,0 +1,201 @@
+package eig
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConverge is returned when an eigenvalue iteration stalls.
+var ErrNoConverge = errors.New("eig: eigenvalue iteration did not converge")
+
+// TQL2 computes all eigenvalues (and, if z != nil, accumulates the
+// corresponding transformations into z's columns) of a symmetric
+// tridiagonal matrix with diagonal d and subdiagonal e (e[0] unused is NOT
+// the convention here: e[i] couples d[i] and d[i+1], so len(e) == len(d)-1).
+// It is the classic implicit-QL algorithm with Wilkinson shifts (EISPACK
+// tql2 lineage). On return d holds the eigenvalues in ascending order.
+//
+// z, when non-nil, must be an n×n matrix (rows) initialized to the basis in
+// which the tridiagonal is expressed (identity for raw tridiagonals, the
+// Lanczos basis for Ritz vectors); its columns are rotated in place.
+func TQL2(d, e []float64, z [][]float64) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	if len(e) != n-1 {
+		return errors.New("eig: TQL2 needs len(e) == len(d)-1")
+	}
+	// Work on a padded copy of e.
+	ee := make([]float64, n)
+	copy(ee, e)
+
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find a small subdiagonal element.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(ee[m]) <= 1e-300+2.3e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return ErrNoConverge
+			}
+			// Wilkinson shift.
+			g := (d[l+1] - d[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + ee[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					for k := 0; k < len(z); k++ {
+						f := z[k][i+1]
+						z[k][i+1] = s*z[k][i] + c*f
+						z[k][i] = c*z[k][i] - s*f
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	// Sort ascending (insertion sort, rotating z columns).
+	for i := 1; i < n; i++ {
+		dv := d[i]
+		var col []float64
+		if z != nil {
+			col = make([]float64, len(z))
+			for k := range z {
+				col[k] = z[k][i]
+			}
+		}
+		j := i - 1
+		for j >= 0 && d[j] > dv {
+			d[j+1] = d[j]
+			if z != nil {
+				for k := range z {
+					z[k][j+1] = z[k][j]
+				}
+			}
+			j--
+		}
+		d[j+1] = dv
+		if z != nil {
+			for k := range z {
+				z[k][j+1] = col[k]
+			}
+		}
+	}
+	return nil
+}
+
+// JacobiEigen computes all eigenvalues and eigenvectors of a small dense
+// symmetric matrix by cyclic Jacobi rotations. a is overwritten. Returns
+// eigenvalues ascending and the matrix of eigenvectors (columns). Intended
+// for reference computations in tests and for tiny spectral drawings.
+func JacobiEigen(a [][]float64) ([]float64, [][]float64, error) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-24 {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = a[i][i]
+			}
+			// Sort ascending with eigenvector columns.
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			for i := 1; i < n; i++ {
+				for j := i; j > 0 && vals[idx[j-1]] > vals[idx[j]]; j-- {
+					idx[j-1], idx[j] = idx[j], idx[j-1]
+				}
+			}
+			sortedVals := make([]float64, n)
+			sortedVecs := make([][]float64, n)
+			for i := range sortedVecs {
+				sortedVecs[i] = make([]float64, n)
+			}
+			for newJ, oldJ := range idx {
+				sortedVals[newJ] = vals[oldJ]
+				for i := 0; i < n; i++ {
+					sortedVecs[i][newJ] = v[i][oldJ]
+				}
+			}
+			return sortedVals, sortedVecs, nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return nil, nil, ErrNoConverge
+}

@@ -1,0 +1,165 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§4) on the synthetic workloads that
+// DESIGN.md maps to the original SuiteSparse test cases. Each experiment
+// returns structured rows plus a text rendering, and takes a scale factor
+// so benches can run CI-sized instances while cmd/experiments can run
+// larger ones.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+)
+
+// Workload names a synthetic graph standing in for a paper test case.
+type Workload struct {
+	// Name is the paper's test-case name; Proxy describes our stand-in.
+	Name, Proxy string
+	// Build constructs the graph at the given scale (≈ multiplier on the
+	// default CI size).
+	Build func(scale float64, seed uint64) (*graph.Graph, error)
+}
+
+// scaledDim returns a dimension that grows with sqrt(scale) for 2D
+// constructions, with a floor.
+func scaledDim(base int, scale float64) int {
+	s := scale
+	if s <= 0 {
+		s = 1
+	}
+	d := int(float64(base) * math.Sqrt(s))
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// Table1Workloads are the five FEM/protein-class cases of Table 1.
+func Table1Workloads() []Workload {
+	return []Workload{
+		{"fe_rotor", "3D grid, uniform weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(14, s)
+			return gen.Grid3D(d, d, d/2+2, gen.UniformWeights, seed)
+		}},
+		{"pdb1HYS", "3D kNN geometric graph", func(s float64, seed uint64) (*graph.Graph, error) {
+			n := int(3000 * s)
+			if n < 500 {
+				n = 500
+			}
+			return gen.KNN(n, 8, 3, seed)
+		}},
+		{"bcsstk36", "triangulated 2D mesh, random weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(55, s)
+			return gen.TriMesh(d, d, gen.UniformWeights, seed)
+		}},
+		{"brack2", "3D grid, random weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(15, s)
+			return gen.Grid3D(d, d, d, gen.UniformWeights, seed)
+		}},
+		{"raefsky3", "triangulated 2D mesh, heavy-tailed weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(55, s)
+			return gen.TriMesh(d, d, gen.LogUniform, seed)
+		}},
+	}
+}
+
+// Table2Workloads are the five large grid-class solver cases of Table 2.
+func Table2Workloads() []Workload {
+	return []Workload{
+		{"G3_circuit", "2D grid, uniform weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(90, s)
+			return gen.Grid2D(d, d, gen.UniformWeights, seed)
+		}},
+		{"thermal2", "triangulated 2D mesh, uniform weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(80, s)
+			return gen.TriMesh(d, d, gen.UniformWeights, seed)
+		}},
+		{"ecology2", "2D grid, unit weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(85, s)
+			return gen.Grid2D(d, d, gen.UnitWeights, seed)
+		}},
+		{"tmt_sym", "2D grid, heavy-tailed weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(75, s)
+			return gen.Grid2D(d, d, gen.LogUniform, seed)
+		}},
+		{"parabolic_fem", "triangulated 2D mesh, random weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(70, s)
+			return gen.TriMesh(d, d, gen.UniformWeights, seed+1)
+		}},
+	}
+}
+
+// Table3Workloads are the partitioning cases: the Table 2 classes plus the
+// synthesized random-weight meshes (mesh_1M/4M/9M analogues, scaled).
+func Table3Workloads() []Workload {
+	ws := []Workload{
+		{"G3_circuit", "2D grid, uniform weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(55, s)
+			return gen.Grid2D(d, d, gen.UniformWeights, seed)
+		}},
+		{"thermal2", "triangulated mesh, uniform weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(50, s)
+			return gen.TriMesh(d, d, gen.UniformWeights, seed)
+		}},
+		{"ecology2", "2D grid, unit weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(52, s)
+			return gen.Grid2D(d, d, gen.UnitWeights, seed)
+		}},
+		{"tmt_sym", "2D grid, heavy-tailed weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(48, s)
+			return gen.Grid2D(d, d, gen.LogUniform, seed)
+		}},
+		{"parabolic_fem", "triangulated mesh, random weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(45, s)
+			return gen.TriMesh(d, d, gen.UniformWeights, seed+1)
+		}},
+	}
+	for i, mult := range []float64{1, 2, 3} {
+		name := fmt.Sprintf("mesh_%dx", int(mult))
+		m := mult
+		idx := uint64(i)
+		ws = append(ws, Workload{name, "synthesized 2D mesh, random edge weights", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(int(38*m), s)
+			return gen.TriMesh(d, d, gen.UniformWeights, seed+10+idx)
+		}})
+	}
+	return ws
+}
+
+// Table4Workloads are the complex-network cases of Table 4.
+func Table4Workloads() []Workload {
+	return []Workload{
+		{"fe_tooth", "3D grid FEM proxy", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(12, s)
+			return gen.Grid3D(d, d, d, gen.UniformWeights, seed)
+		}},
+		{"appu", "dense random graph (high avg degree)", func(s float64, seed uint64) (*graph.Graph, error) {
+			n := int(2000 * s)
+			if n < 400 {
+				n = 400
+			}
+			return gen.DenseRandom(n, 60, seed)
+		}},
+		{"coAuthorsDBLP", "Barabási–Albert + triangle closure", func(s float64, seed uint64) (*graph.Graph, error) {
+			n := int(6000 * s)
+			if n < 800 {
+				n = 800
+			}
+			return gen.Coauthorship(n, 3, 0.4, seed)
+		}},
+		{"auto", "large 3D grid", func(s float64, seed uint64) (*graph.Graph, error) {
+			d := scaledDim(16, s)
+			return gen.Grid3D(d, d, d, gen.UniformWeights, seed+2)
+		}},
+		{"RCV-80NN", "2D kNN graph, k=40", func(s float64, seed uint64) (*graph.Graph, error) {
+			n := int(3000 * s)
+			if n < 600 {
+				n = 600
+			}
+			return gen.KNN(n, 40, 2, seed)
+		}},
+	}
+}

@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The harness tests run at tiny scale (0.05–0.1) so the full suite stays
+// fast; the assertions target the paper's qualitative shape, not absolute
+// numbers.
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.V == 0 || r.E == 0 {
+			t.Fatalf("%s: empty graph", r.Name)
+		}
+		// λmin ≈ 1-2 for spanning-tree sparsifiers; λmax well separated.
+		if r.LMinEst < 1-1e-9 || r.LMinEst > 5 {
+			t.Fatalf("%s: λ̃min = %v implausible", r.Name, r.LMinEst)
+		}
+		if r.LMaxEst <= r.LMinEst {
+			t.Fatalf("%s: λ̃max %v ≤ λ̃min %v", r.Name, r.LMaxEst, r.LMinEst)
+		}
+		// Paper errors: ≤ ~11% for λmin, ≤ ~7% for λmax. Allow headroom
+		// since Lanczos references on crowded spectra are themselves
+		// approximate.
+		if r.LMaxRelErr > 0.25 {
+			t.Fatalf("%s: λmax error %.1f%% too big", r.Name, 100*r.LMaxRelErr)
+		}
+		if r.LMinRelErr > 0.60 {
+			t.Fatalf("%s: λmin error %.1f%% too big", r.Name, 100*r.LMinRelErr)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Density: ultra-sparse, near 1 (a bare tree is (n-1)/n); σ²=50
+		// keeps ≥ edges of σ²=200.
+		if r.Density50 < 0.95 || r.Density50 > 2.5 {
+			t.Fatalf("%s: density50 = %v implausible", r.Name, r.Density50)
+		}
+		if r.Density200 > r.Density50+1e-9 {
+			t.Fatalf("%s: density200 %v > density50 %v", r.Name, r.Density200, r.Density50)
+		}
+		// Iterations: tighter sparsifier converges in fewer iterations.
+		if r.Iters50 <= 0 || r.Iters200 <= 0 {
+			t.Fatalf("%s: zero iterations", r.Name)
+		}
+		if r.Iters50 > r.Iters200 {
+			t.Fatalf("%s: N50=%d should be ≤ N200=%d", r.Name, r.Iters50, r.Iters200)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Balance < 0.3 || r.Balance > 3 {
+			t.Fatalf("%s: balance %v implausible", r.Name, r.Balance)
+		}
+		// Paper: Rel.Err ≤ ~4e-2.
+		if r.RelErr > 0.10 {
+			t.Fatalf("%s: sign error %v too high", r.Name, r.RelErr)
+		}
+		// Memory shape: iterative ≪ direct.
+		if r.IterativeMem >= r.DirectMem {
+			t.Fatalf("%s: M_I %d ≥ M_D %d", r.Name, r.IterativeMem, r.DirectMem)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4(0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EdgeReduction < 1 {
+			t.Fatalf("%s: edge reduction %v < 1", r.Name, r.EdgeReduction)
+		}
+		if r.LambdaReduce < 1 {
+			t.Fatalf("%s: λ1 reduction %v < 1 — adding edges must not raise λmax", r.Name, r.LambdaReduce)
+		}
+		if r.SparsifierEdge >= r.E && r.E > r.V {
+			t.Fatalf("%s: no edges removed", r.Name)
+		}
+		// Eigensolver on the sparsifier should not be slower by much; on
+		// dense cases it should win clearly. Assert a weak global shape:
+		if r.EigTimeSparse > r.EigTimeOrig*3 {
+			t.Fatalf("%s: sparsified eig %v much slower than original %v", r.Name, r.EigTimeSparse, r.EigTimeOrig)
+		}
+	}
+	// The kNN proxy (RCV-80NN class, the densest case) must show a clear
+	// eig speedup; expander-like appu only wins at larger scales where
+	// SpMV cost dominates, so it is not asserted here.
+	for _, r := range rows {
+		if r.Name == "RCV-80NN" && r.EigTimeSparse >= r.EigTimeOrig {
+			t.Fatalf("RCV-80NN: expected eig speedup, got %v vs %v", r.EigTimeSparse, r.EigTimeOrig)
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1(0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MSparse >= r.MOrig {
+		t.Fatalf("sparsifier kept all edges: %d vs %d", r.MSparse, r.MOrig)
+	}
+	if r.Correlation < 0.7 {
+		t.Fatalf("drawing correlation %v < 0.7", r.Correlation)
+	}
+	if len(r.Original) != r.N || len(r.Sparsified) != r.N {
+		t.Fatal("coordinate arrays wrong length")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	series, err := Fig2(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Normalized) == 0 {
+			t.Fatalf("%s: empty spectrum", s.Name)
+		}
+		if s.Normalized[0] != 1 {
+			t.Fatalf("%s: top heat %v != 1", s.Name, s.Normalized[0])
+		}
+		// "Not too many large generalized eigenvalues": the upper tail is
+		// thin — fewer than 20%% of edges exceed the σ²=100 threshold.
+		k100 := s.AboveTh["sigma2=100"]
+		if k100 == 0 {
+			t.Fatalf("%s: σ²=100 threshold filters everything", s.Name)
+		}
+		if float64(k100) > 0.5*float64(len(s.Normalized)) {
+			t.Fatalf("%s: %d of %d edges above threshold — no sharp knee", s.Name, k100, len(s.Normalized))
+		}
+		// Looser target keeps fewer edges.
+		if s.AboveTh["sigma2=500"] > k100 {
+			t.Fatalf("%s: σ²=500 keeps more edges than σ²=100", s.Name)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	// Smoke-check every renderer with tiny data.
+	var buf bytes.Buffer
+	RenderTable1(&buf, []Table1Row{{Name: "x", V: 10, E: 20, LMinRef: 1.1, LMinEst: 1.2, LMinRelErr: 0.09, LMaxRef: 50, LMaxEst: 48, LMaxRelErr: 0.04}})
+	RenderTable2(&buf, []Table2Row{{Name: "x", V: 10, E: 20, Density50: 1.2, Iters50: 9, Density200: 1.1, Iters200: 20}})
+	RenderTable3(&buf, []Table3Row{{Name: "x", V: 10, Balance: 1.01, DirectMem: 5 << 20, IterativeMem: 1 << 19, RelErr: 0.01}})
+	RenderTable4(&buf, []Table4Row{{Name: "x", V: 10, E: 20, EdgeReduction: 4, LambdaReduce: 100}})
+	RenderFig1(&buf, &Fig1Result{N: 3, MOrig: 3, MSparse: 2, Correlation: 0.9,
+		Original: [][2]float64{{0, 0}, {1, 1}, {2, 2}}, Sparsified: [][2]float64{{0, 0}, {1, 1}, {2, 2}}}, true)
+	RenderFig2(&buf, []Fig2Series{{Name: "x", V: 4, E: 6, Normalized: []float64{1, 0.5, 0.1},
+		Thresholds: map[string]float64{"sigma2=100": 0.2}, AboveTh: map[string]int{"sigma2=100": 2}}})
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Fig 1", "Fig 2", "λ̃min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestWorkloadListsNonEmpty(t *testing.T) {
+	if len(Table1Workloads()) != 5 || len(Table2Workloads()) != 5 || len(Table3Workloads()) != 8 || len(Table4Workloads()) != 5 {
+		t.Fatal("workload list sizes changed")
+	}
+	for _, ws := range [][]Workload{Table1Workloads(), Table2Workloads(), Table3Workloads(), Table4Workloads()} {
+		for _, w := range ws {
+			g, err := w.Build(0.05, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if !g.IsConnected() {
+				t.Fatalf("%s: disconnected workload", w.Name)
+			}
+		}
+	}
+}

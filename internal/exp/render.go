@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+func newTW(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+func fmtMem(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// RenderTable1 writes Table 1 in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Table 1: Results of extreme eigenvalue estimations.")
+	fmt.Fprintln(tw, "Test Case\t|V|\t|E|\tλmin\tλ̃min\tδλmin\tλmax\tλ̃max\tδλmax")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\t%.1f%%\t%.1f\t%.1f\t%.1f%%\n",
+			r.Name, r.V, r.E,
+			r.LMinRef, r.LMinEst, 100*r.LMinRelErr,
+			r.LMaxRef, r.LMaxEst, 100*r.LMaxRelErr)
+	}
+	tw.Flush()
+}
+
+// RenderTable2 writes Table 2 in the paper's layout.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Table 2: Results of iterative SDD matrix solver.")
+	fmt.Fprintln(tw, "Graph\t|V|\t|E|\t|E50|/|V|\tN50\tT50\t|E200|/|V|\tN200\tT200")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%d\t%s\t%.2f\t%d\t%s\n",
+			r.Name, r.V, r.E,
+			r.Density50, r.Iters50, fmtDur(r.Sparsify50),
+			r.Density200, r.Iters200, fmtDur(r.Sparsify200))
+	}
+	tw.Flush()
+}
+
+// RenderTable3 writes Table 3 in the paper's layout.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Table 3: Results of spectral graph partitioning.")
+	fmt.Fprintln(tw, "Test Case\t|V|\t|V+|/|V-|\tTD (MD)\tTI (MI)\tRel.Err.")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%s (%s)\t%s (%s)\t%.1e\n",
+			r.Name, r.V, r.Balance,
+			fmtDur(r.DirectTime), fmtMem(r.DirectMem),
+			fmtDur(r.IterativeTime), fmtMem(r.IterativeMem),
+			r.RelErr)
+	}
+	tw.Flush()
+}
+
+// RenderTable4 writes Table 4 in the paper's layout.
+func RenderTable4(w io.Writer, rows []Table4Row) {
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Table 4: Results of complex network sparsification.")
+	fmt.Fprintln(tw, "Test Case\t|V|\t|E|\tTtot\t|E|/|Es|\tλ1/λ̃1\tToeig (Tseig)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.1fx\t%.1fx\t%s (%s)\n",
+			r.Name, r.V, r.E, fmtDur(r.SparsifyTime),
+			r.EdgeReduction, r.LambdaReduce,
+			fmtDur(r.EigTimeOrig), fmtDur(r.EigTimeSparse))
+	}
+	tw.Flush()
+}
+
+// RenderFig1 summarizes the drawing experiment and optionally dumps the
+// coordinates as CSV.
+func RenderFig1(w io.Writer, r *Fig1Result, dumpCoords bool) {
+	fmt.Fprintf(w, "Fig 1: airfoil-proxy spectral drawings\n")
+	fmt.Fprintf(w, "  |V|=%d  |E|=%d -> |Es|=%d  (σ² achieved %.1f)\n", r.N, r.MOrig, r.MSparse, r.SigmaSqAchieved)
+	fmt.Fprintf(w, "  layout correlation original vs sparsifier: %.3f\n", r.Correlation)
+	if dumpCoords {
+		fmt.Fprintln(w, "vertex,orig_x,orig_y,sparse_x,sparse_y")
+		for i := range r.Original {
+			fmt.Fprintf(w, "%d,%.6g,%.6g,%.6g,%.6g\n",
+				i, r.Original[i][0], r.Original[i][1], r.Sparsified[i][0], r.Sparsified[i][1])
+		}
+	}
+}
+
+// RenderFig2 prints the heat spectra with thresholds, downsampling the
+// curve to at most 40 log-spaced points per series.
+func RenderFig2(w io.Writer, series []Fig2Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "Fig 2: normalized off-tree edge Joule heat — %s (|V|=%d |E|=%d)\n", s.Name, s.V, s.E)
+		for key, th := range s.Thresholds {
+			fmt.Fprintf(w, "  threshold %s: θ=%.3e  (edges above: %d of %d)\n", key, th, s.AboveTh[key], len(s.Normalized))
+		}
+		fmt.Fprintln(w, "  rank\tnormalized heat")
+		n := len(s.Normalized)
+		printed := map[int]bool{}
+		idx := 1.0
+		for int(idx) <= n {
+			i := int(idx) - 1
+			if !printed[i] {
+				fmt.Fprintf(w, "  %d\t%.3e\n", i+1, s.Normalized[i])
+				printed[i] = true
+			}
+			idx *= 1.35
+			if idx < float64(i+2) {
+				idx = float64(i + 2)
+			}
+		}
+	}
+}

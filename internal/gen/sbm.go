@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+
+	"graphspar/internal/graph"
+	"graphspar/internal/vecmath"
+)
+
+// SBM samples a stochastic block model: k equal blocks of size blockSize,
+// intra-block edge probability pIn, inter-block probability pOut. The
+// planted partition (block labels) is returned alongside the graph so
+// clustering experiments can score themselves. A spanning path inside
+// each block plus one bridge per consecutive block pair keeps the sample
+// connected even for sparse regimes.
+func SBM(k, blockSize int, pIn, pOut float64, seed uint64) (*graph.Graph, []int, error) {
+	if k < 2 || blockSize < 2 {
+		return nil, nil, fmt.Errorf("gen: SBM(k=%d, blockSize=%d) invalid", k, blockSize)
+	}
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, nil, fmt.Errorf("gen: SBM probabilities out of range")
+	}
+	if pIn <= pOut {
+		return nil, nil, fmt.Errorf("gen: SBM needs pIn > pOut for detectable blocks")
+	}
+	n := k * blockSize
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v / blockSize
+	}
+	rng := vecmath.NewRNG(seed)
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if labels[u] == labels[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+			}
+		}
+	}
+	// Connectivity backstop.
+	for b := 0; b < k; b++ {
+		base := b * blockSize
+		for i := 0; i+1 < blockSize; i++ {
+			edges = append(edges, graph.Edge{U: base + i, V: base + i + 1, W: 1})
+		}
+		if b+1 < k {
+			edges = append(edges, graph.Edge{U: base, V: base + blockSize, W: 1})
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, labels, nil
+}
+
+// PowerGrid builds a multi-layer on-chip power-delivery-network proxy:
+// `layers` stacked 2D grids of rows×cols nodes. In-layer wires get
+// uniform random conductances scaled by layer (upper layers are wider
+// metal → higher conductance); vertical vias connect a regular subsample
+// of nodes between adjacent layers with high conductance. This is the
+// VLSI workload class ([9, 23]) the paper's introduction motivates.
+func PowerGrid(rows, cols, layers int, seed uint64) (*graph.Graph, error) {
+	if rows < 2 || cols < 2 || layers < 1 {
+		return nil, fmt.Errorf("gen: PowerGrid(%d,%d,%d) invalid", rows, cols, layers)
+	}
+	rng := vecmath.NewRNG(seed)
+	id := func(l, r, c int) int { return (l*rows+r)*cols + c }
+	var edges []graph.Edge
+	for l := 0; l < layers; l++ {
+		// Metal widens with layer index: conductance grows 2× per layer.
+		scale := float64(int(1) << uint(l))
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if c+1 < cols {
+					edges = append(edges, graph.Edge{U: id(l, r, c), V: id(l, r, c+1), W: scale * (0.5 + rng.Float64())})
+				}
+				if r+1 < rows {
+					edges = append(edges, graph.Edge{U: id(l, r, c), V: id(l, r+1, c), W: scale * (0.5 + rng.Float64())})
+				}
+			}
+		}
+	}
+	// Vias every other node between adjacent layers, 10× conductance.
+	for l := 0; l+1 < layers; l++ {
+		for r := 0; r < rows; r += 2 {
+			for c := 0; c < cols; c += 2 {
+				edges = append(edges, graph.Edge{U: id(l, r, c), V: id(l + 1, r, c), W: 10 * (0.5 + rng.Float64())})
+			}
+		}
+	}
+	return graph.New(rows*cols*layers, edges)
+}

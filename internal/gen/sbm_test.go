@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestSBMShape(t *testing.T) {
+	g, labels, err := SBM(3, 20, 0.4, 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 60 || len(labels) != 60 {
+		t.Fatalf("N=%d len(labels)=%d", g.N(), len(labels))
+	}
+	if !g.IsConnected() {
+		t.Fatal("SBM must be connected")
+	}
+	// Labels are contiguous blocks.
+	for v, l := range labels {
+		if l != v/20 {
+			t.Fatalf("label[%d] = %d", v, l)
+		}
+	}
+	// Intra-block density should far exceed inter-block.
+	var intra, inter int
+	for _, e := range g.Edges() {
+		if labels[e.U] == labels[e.V] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 3*inter {
+		t.Fatalf("block structure weak: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestSBMValidation(t *testing.T) {
+	if _, _, err := SBM(1, 10, 0.5, 0.1, 1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+	if _, _, err := SBM(2, 10, 0.1, 0.5, 1); err == nil {
+		t.Fatal("pIn <= pOut should fail")
+	}
+	if _, _, err := SBM(2, 10, 1.5, 0.1, 1); err == nil {
+		t.Fatal("p > 1 should fail")
+	}
+}
+
+func TestPowerGrid(t *testing.T) {
+	g, err := PowerGrid(8, 10, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 240 {
+		t.Fatalf("N = %d, want 240", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("power grid must be connected")
+	}
+	// Upper layers must have larger in-layer conductances on average.
+	layerSum := make([]float64, 3)
+	layerCount := make([]int, 3)
+	layerOf := func(v int) int { return v / 80 }
+	for _, e := range g.Edges() {
+		lu, lv := layerOf(e.U), layerOf(e.V)
+		if lu == lv {
+			layerSum[lu] += e.W
+			layerCount[lu]++
+		}
+	}
+	avg0 := layerSum[0] / float64(layerCount[0])
+	avg2 := layerSum[2] / float64(layerCount[2])
+	if avg2 <= 2*avg0 {
+		t.Fatalf("layer scaling missing: %v vs %v", avg0, avg2)
+	}
+}
+
+func TestPowerGridValidation(t *testing.T) {
+	if _, err := PowerGrid(1, 5, 2, 1); err == nil {
+		t.Fatal("rows=1 should fail")
+	}
+	if _, err := PowerGrid(5, 5, 0, 1); err == nil {
+		t.Fatal("layers=0 should fail")
+	}
+}

@@ -1,0 +1,402 @@
+// Package graph defines the weighted undirected graph representation used
+// by every graphspar subsystem, along with its Laplacian export (eq. 1 of
+// the paper), adjacency structure, connectivity queries and subgraph
+// extraction.
+//
+// Vertices are dense integers 0..n-1. Edges are stored once (u < v) in an
+// edge list; a CSR-style adjacency index is built lazily and cached, so the
+// zero-cost path for algorithms that only stream edges stays cheap.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"graphspar/internal/sparse"
+)
+
+// Common error conditions surfaced by constructors and validators.
+var (
+	ErrVertexRange   = errors.New("graph: vertex out of range")
+	ErrSelfLoop      = errors.New("graph: self loop")
+	ErrBadWeight     = errors.New("graph: edge weight must be positive and finite")
+	ErrDisconnected  = errors.New("graph: graph is not connected")
+	ErrEmpty         = errors.New("graph: graph has no vertices")
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+)
+
+// Edge is an undirected weighted edge with U < V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is an undirected weighted graph. Construct with New or Builder
+// functions; the zero value is an empty graph with no vertices.
+type Graph struct {
+	n     int
+	edges []Edge
+
+	// Lazily built adjacency: for vertex u, neighbors are
+	// adjTo[adjPtr[u]:adjPtr[u+1]] with parallel edge ids adjEdge.
+	adjPtr  []int
+	adjTo   []int
+	adjEdge []int
+}
+
+// New builds a graph with n vertices from the given edges. Edges may be
+// listed in either orientation; they are normalized to U < V. Duplicate
+// edges (same endpoints) have their weights summed, matching how parallel
+// resistors/conductances combine in the circuit interpretation.
+// Self loops and non-positive or non-finite weights are rejected.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative vertex count %d", ErrVertexRange, n)
+	}
+	norm := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrSelfLoop, e.U, e.V)
+		}
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, e.U, e.V, n)
+		}
+		if !(e.W > 0) || e.W > 1e300 {
+			return nil, fmt.Errorf("%w: w(%d,%d)=%v", ErrBadWeight, e.U, e.V, e.W)
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		norm = append(norm, e)
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].U != norm[j].U {
+			return norm[i].U < norm[j].U
+		}
+		return norm[i].V < norm[j].V
+	})
+	merged := norm[:0]
+	for _, e := range norm {
+		k := len(merged)
+		if k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
+			merged[k-1].W += e.W
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	g := &Graph{n: n, edges: append([]Edge(nil), merged...)}
+	return g, nil
+}
+
+// MustNew is New but panics on error; for tests and generators whose inputs
+// are valid by construction.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the internal edge slice. Callers must not mutate it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// buildAdj constructs the CSR adjacency index once.
+func (g *Graph) buildAdj() {
+	if g.adjPtr != nil {
+		return
+	}
+	ptr := make([]int, g.n+1)
+	for _, e := range g.edges {
+		ptr[e.U+1]++
+		ptr[e.V+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	to := make([]int, 2*len(g.edges))
+	eid := make([]int, 2*len(g.edges))
+	next := make([]int, g.n)
+	copy(next, ptr[:g.n])
+	for i, e := range g.edges {
+		to[next[e.U]], eid[next[e.U]] = e.V, i
+		next[e.U]++
+		to[next[e.V]], eid[next[e.V]] = e.U, i
+		next[e.V]++
+	}
+	g.adjPtr, g.adjTo, g.adjEdge = ptr, to, eid
+}
+
+// Neighbors calls fn(v, w, edgeID) for every edge incident to u.
+// Iteration stops early if fn returns false.
+func (g *Graph) Neighbors(u int, fn func(v int, w float64, edgeID int) bool) {
+	g.buildAdj()
+	for k := g.adjPtr[u]; k < g.adjPtr[u+1]; k++ {
+		e := g.edges[g.adjEdge[k]]
+		if !fn(g.adjTo[k], e.W, g.adjEdge[k]) {
+			return
+		}
+	}
+}
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u int) int {
+	g.buildAdj()
+	return g.adjPtr[u+1] - g.adjPtr[u]
+}
+
+// WeightedDegree returns the sum of weights of edges incident to u — the
+// diagonal entry L(u,u) of the Laplacian.
+func (g *Graph) WeightedDegree(u int) float64 {
+	g.buildAdj()
+	var s float64
+	for k := g.adjPtr[u]; k < g.adjPtr[u+1]; k++ {
+		s += g.edges[g.adjEdge[k]].W
+	}
+	return s
+}
+
+// WeightedDegrees returns all Laplacian diagonal entries at once.
+func (g *Graph) WeightedDegrees() []float64 {
+	d := make([]float64, g.n)
+	for _, e := range g.edges {
+		d[e.U] += e.W
+		d[e.V] += e.W
+	}
+	return d
+}
+
+// Laplacian exports L_G as defined by eq. 1:
+// off-diagonal (p,q) = -w(p,q), diagonal (p,p) = Σ w(p,·).
+func (g *Graph) Laplacian() *sparse.CSR {
+	b := sparse.NewBuilder(g.n, g.n)
+	for _, e := range g.edges {
+		b.Add(e.U, e.V, -e.W)
+		b.Add(e.V, e.U, -e.W)
+		b.Add(e.U, e.U, e.W)
+		b.Add(e.V, e.V, e.W)
+	}
+	return b.Build()
+}
+
+// LapMulVec computes y = L_G x directly from the edge list, without
+// materializing the Laplacian — the hot operation inside power iterations.
+func (g *Graph) LapMulVec(y, x []float64) {
+	if len(x) != g.n || len(y) != g.n {
+		panic("graph: LapMulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for _, e := range g.edges {
+		d := x[e.U] - x[e.V]
+		y[e.U] += e.W * d
+		y[e.V] -= e.W * d
+	}
+}
+
+// LapQuadForm returns xᵀ L_G x = Σ_(u,v)∈E w(u,v)·(x(u)−x(v))² — the
+// Laplacian quadratic form central to spectral similarity (eq. 2).
+func (g *Graph) LapQuadForm(x []float64) float64 {
+	if len(x) != g.n {
+		panic("graph: LapQuadForm dimension mismatch")
+	}
+	var s float64
+	for _, e := range g.edges {
+		d := x[e.U] - x[e.V]
+		s += e.W * d * d
+	}
+	return s
+}
+
+// Components labels each vertex with a component id (0-based, in order of
+// discovery) and returns the labels along with the number of components.
+func (g *Graph) Components() (labels []int, count int) {
+	g.buildAdj()
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int
+	for s := 0; s < g.n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for k := g.adjPtr[u]; k < g.adjPtr[u+1]; k++ {
+				v := g.adjTo[k]
+				if labels[v] == -1 {
+					labels[v] = count
+					stack = append(stack, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// IsConnected reports whether the graph is connected (true for the empty
+// and single-vertex graphs).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, c := g.Components()
+	return c == 1
+}
+
+// RequireConnected returns ErrDisconnected unless the graph is connected
+// and non-empty; sparsification and solver entry points call this because
+// the whole framework (tree backbone, null space handling) assumes it.
+func (g *Graph) RequireConnected() error {
+	if g.n == 0 {
+		return ErrEmpty
+	}
+	if !g.IsConnected() {
+		return ErrDisconnected
+	}
+	return nil
+}
+
+// SubgraphEdges returns a new graph on the same vertex set containing only
+// the edges whose ids are listed. Ids must be valid and distinct.
+func (g *Graph) SubgraphEdges(edgeIDs []int) (*Graph, error) {
+	seen := make(map[int]bool, len(edgeIDs))
+	es := make([]Edge, 0, len(edgeIDs))
+	for _, id := range edgeIDs {
+		if id < 0 || id >= len(g.edges) {
+			return nil, fmt.Errorf("graph: edge id %d out of range", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: id %d", ErrDuplicateEdge, id)
+		}
+		seen[id] = true
+		es = append(es, g.edges[id])
+	}
+	return New(g.n, es)
+}
+
+// BFSOrder returns vertices in breadth-first order from root, together
+// with each vertex's BFS parent (-1 for root and unreachable vertices).
+func (g *Graph) BFSOrder(root int) (order []int, parent []int) {
+	g.buildAdj()
+	parent = make([]int, g.n)
+	visited := make([]bool, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	order = make([]int, 0, g.n)
+	queue := []int{root}
+	visited[root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for k := g.adjPtr[u]; k < g.adjPtr[u+1]; k++ {
+			v := g.adjTo[k]
+			if !visited[v] {
+				visited[v] = true
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order, parent
+}
+
+// EdgeIndex builds a map from normalized (u,v) keys to edge ids, for
+// membership tests such as "is this off-tree edge already in the sparsifier".
+func (g *Graph) EdgeIndex() map[[2]int]int {
+	idx := make(map[[2]int]int, len(g.edges))
+	for i, e := range g.edges {
+		idx[[2]int{e.U, e.V}] = i
+	}
+	return idx
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.buildAdj()
+	found := false
+	g.Neighbors(u, func(nb int, _ float64, _ int) bool {
+		if nb == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// AddEdges returns a new graph with extra edges appended (weights of
+// coincident edges merge). The receiver is unchanged.
+func (g *Graph) AddEdges(extra []Edge) (*Graph, error) {
+	all := make([]Edge, 0, len(g.edges)+len(extra))
+	all = append(all, g.edges...)
+	all = append(all, extra...)
+	return New(g.n, all)
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// with vertices renumbered 0..len(vertices)-1 in the given order, plus the
+// mapping new→old. Duplicate or out-of-range vertices are rejected.
+func (g *Graph) InducedSubgraph(vertices []int) (*Graph, []int, error) {
+	toNew := make(map[int]int, len(vertices))
+	for newID, old := range vertices {
+		if old < 0 || old >= g.n {
+			return nil, nil, fmt.Errorf("%w: vertex %d", ErrVertexRange, old)
+		}
+		if _, dup := toNew[old]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", old)
+		}
+		toNew[old] = newID
+	}
+	var edges []Edge
+	for _, e := range g.edges {
+		u, okU := toNew[e.U]
+		v, okV := toNew[e.V]
+		if okU && okV {
+			edges = append(edges, Edge{U: u, V: v, W: e.W})
+		}
+	}
+	sub, err := New(len(vertices), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, append([]int(nil), vertices...), nil
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, len(g.edges))
+}

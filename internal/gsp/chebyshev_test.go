@@ -1,0 +1,202 @@
+package gsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphspar/internal/eig"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/vecmath"
+)
+
+func TestChebyshevIdentityFilter(t *testing.T) {
+	// h(λ) = 1 must reproduce the input exactly (constant polynomial).
+	g, _ := gen.Cycle(16)
+	f, err := NewChebyshevFilter(g, func(float64) float64 { return 1 }, 8, LambdaUpperBound(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	vecmath.NewRNG(1).FillNormal(x)
+	y := make([]float64, 16)
+	f.Apply(y, x)
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-10 {
+			t.Fatalf("identity filter distorted at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestChebyshevLinearFilterMatchesLaplacian(t *testing.T) {
+	// h(λ) = λ reproduces L x (degree-1 polynomial is exact at order >= 1).
+	g, _ := gen.Path(12)
+	f, err := NewChebyshevFilter(g, func(l float64) float64 { return l }, 4, LambdaUpperBound(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 12)
+	vecmath.NewRNG(2).FillNormal(x)
+	y := make([]float64, 12)
+	f.Apply(y, x)
+	want := make([]float64, 12)
+	g.LapMulVec(want, x)
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("λ filter != L x at %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestChebyshevMatchesGFTReference(t *testing.T) {
+	// Compare h(L)x against the dense GFT route on a small graph.
+	g, _ := gen.Cycle(10)
+	s := 0.7
+	lub := LambdaUpperBound(g)
+	f, err := HeatKernel(g, s, 40, lub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 10)
+	vecmath.NewRNG(3).FillNormal(x)
+	got := make([]float64, 10)
+	f.Apply(got, x)
+
+	// Dense reference: expand in eigenbasis, scale by exp(-s λ).
+	_, coeffs, err := GFT(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, vecs, err := eig.JacobiEigen(g.Laplacian().Dense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 10)
+	for j := 0; j < 10; j++ {
+		scale := math.Exp(-s*vals[j]) * coeffs[j]
+		for i := 0; i < 10; i++ {
+			want[i] += scale * vecs[i][j]
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("heat kernel mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeatKernelSmooths(t *testing.T) {
+	g, err := gen.Grid2D(12, 12, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := HeatKernel(g, 1.0, 30, LambdaUpperBound(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	x := make([]float64, n)
+	vecmath.NewRNG(5).FillNormal(x)
+	y := make([]float64, n)
+	f.Apply(y, x)
+	s0, err := Smoothness(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Smoothness(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 >= s0 {
+		t.Fatalf("heat kernel must smooth: %v vs %v", s1, s0)
+	}
+}
+
+func TestIdealLowPassEnergy(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lub := LambdaUpperBound(g)
+	f, err := IdealLowPass(g, lub/8, lub/16, 60, lub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, g.N())
+	vecmath.NewRNG(7).FillNormal(x)
+	ratio, err := FilterEnergyRatio(f, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise spreads energy over the whole spectrum; a λub/8 low-pass
+	// must strip most of it.
+	if ratio > 0.5 {
+		t.Fatalf("low-pass energy ratio %v too high", ratio)
+	}
+	// A constant signal (frequency 0) must pass through unharmed.
+	c := make([]float64, g.N())
+	for i := range c {
+		c[i] = 2.5
+	}
+	ratioC, err := FilterEnergyRatio(f, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratioC-1) > 0.05 {
+		t.Fatalf("constant signal attenuated: ratio %v", ratioC)
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	g, _ := gen.Path(5)
+	if _, err := NewChebyshevFilter(g, func(float64) float64 { return 1 }, 0, 2); err == nil {
+		t.Fatal("order 0 should fail")
+	}
+	if _, err := NewChebyshevFilter(g, func(float64) float64 { return 1 }, 3, 0); err == nil {
+		t.Fatal("lub 0 should fail")
+	}
+	if _, err := HeatKernel(g, -1, 5, 4); err == nil {
+		t.Fatal("negative time should fail")
+	}
+	if _, err := IdealLowPass(g, 0, 1, 5, 4); err == nil {
+		t.Fatal("zero cutoff should fail")
+	}
+	if _, err := FilterEnergyRatio(mustFilter(t, g), make([]float64, 5)); err == nil {
+		t.Fatal("zero signal should fail")
+	}
+}
+
+func mustFilter(t *testing.T, g *graph.Graph) *ChebyshevFilter {
+	t.Helper()
+	cf, err := NewChebyshevFilter(g, func(float64) float64 { return 1 }, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+// Property: Chebyshev low-pass output is smoother than input on random
+// grids and noise.
+func TestQuickChebyshevSmoothing(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.Grid2D(6, 7, gen.UniformWeights, seed)
+		if err != nil {
+			return false
+		}
+		hk, err := HeatKernel(g, 0.8, 25, LambdaUpperBound(g))
+		if err != nil {
+			return false
+		}
+		x := make([]float64, g.N())
+		vecmath.NewRNG(seed).FillNormal(x)
+		y := make([]float64, g.N())
+		hk.Apply(y, x)
+		s0, err1 := Smoothness(g, x)
+		s1, err2 := Smoothness(g, y)
+		return err1 == nil && err2 == nil && s1 <= s0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package gsp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/core"
+	"graphspar/internal/gen"
+	"graphspar/internal/vecmath"
+)
+
+func TestSmoothnessConstantVsAlternating(t *testing.T) {
+	g, _ := gen.Path(10)
+	smooth := make([]float64, 10)
+	rough := make([]float64, 10)
+	for i := range smooth {
+		smooth[i] = 1 + 0.01*float64(i) // slowly varying
+		rough[i] = float64(1 - 2*(i%2)) // alternating ±1
+	}
+	s1, err := Smoothness(g, smooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Smoothness(g, rough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 >= s2 {
+		t.Fatalf("smooth signal %v should have lower smoothness than rough %v", s1, s2)
+	}
+	if _, err := Smoothness(g, make([]float64, 3)); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Smoothness(g, make([]float64, 10)); err == nil {
+		t.Fatal("zero signal should fail")
+	}
+}
+
+func TestGFTDeltaSignal(t *testing.T) {
+	g, _ := gen.Cycle(8)
+	x := make([]float64, 8)
+	x[0] = 1
+	freqs, coeffs, err := GFT(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != 8 || len(coeffs) != 8 {
+		t.Fatal("GFT sizes wrong")
+	}
+	// Parseval: ‖x‖² = ‖coeffs‖².
+	var e float64
+	for _, c := range coeffs {
+		e += c * c
+	}
+	if math.Abs(e-1) > 1e-9 {
+		t.Fatalf("Parseval violated: %v", e)
+	}
+	// Frequencies ascend and start at ~0.
+	if math.Abs(freqs[0]) > 1e-9 {
+		t.Fatalf("first frequency %v, want 0", freqs[0])
+	}
+	for i := 0; i+1 < len(freqs); i++ {
+		if freqs[i] > freqs[i+1]+1e-12 {
+			t.Fatal("frequencies not ascending")
+		}
+	}
+}
+
+func TestGFTTooLarge(t *testing.T) {
+	g, err := gen.Grid2D(30, 30, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := GFT(g, make([]float64, g.N())); err == nil {
+		t.Fatal("large GFT should be refused")
+	}
+}
+
+func TestTikhonovSmooths(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	rng := vecmath.NewRNG(3)
+	noisy := make([]float64, n)
+	rng.FillNormal(noisy)
+	filtered, err := TikhonovFilter(g, noisy, 5.0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := Smoothness(g, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Smoothness(g, filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 >= s0 {
+		t.Fatalf("filtering must reduce smoothness quotient: %v vs %v", s1, s0)
+	}
+}
+
+func TestTikhonovValidation(t *testing.T) {
+	g, _ := gen.Path(5)
+	if _, err := TikhonovFilter(g, make([]float64, 3), 1, 1e-8); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := TikhonovFilter(g, make([]float64, 5), -1, 1e-8); err == nil {
+		t.Fatal("negative alpha should fail")
+	}
+}
+
+func TestFilterAgreementSparsifier(t *testing.T) {
+	g, err := gen.Grid2D(14, 14, gen.UniformWeights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := core.Sparsify(g, core.Options{SigmaSq: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := core.Sparsify(g, core.Options{SigmaSq: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := vecmath.NewRNG(7)
+	s := make([]float64, g.N())
+	rng.FillNormal(s)
+	relTight, err := FilterAgreement(g, tight.Sparsifier, s, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relLoose, err := FilterAgreement(g, loose.Sparsifier, s, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighter spectral similarity must track the low-pass output better.
+	if relTight >= relLoose {
+		t.Fatalf("σ²=5 disagreement %v should beat σ²=200's %v", relTight, relLoose)
+	}
+	// And the sparsifier must beat the bare spanning tree.
+	relTree, err := FilterAgreement(g, tight.Tree.Graph(), s, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relTight >= relTree {
+		t.Fatalf("sparsifier (%v) should beat bare tree (%v)", relTight, relTree)
+	}
+}
+
+func TestSpectralDrawingGrid(t *testing.T) {
+	g, err := gen.Grid2D(6, 14, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords, err := SpectralDrawing(g, ls, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != g.N() {
+		t.Fatal("coordinate count wrong")
+	}
+	// For an elongated grid, u₂ orders vertices along the long axis: the
+	// x-coordinates of column 0 and column 13 should have opposite signs.
+	left := coords[0][0]
+	right := coords[13][0]
+	if left*right >= 0 {
+		t.Fatalf("drawing does not separate the grid ends: %v vs %v", left, right)
+	}
+}
+
+func TestSpectralDrawingTooSmall(t *testing.T) {
+	g, _ := gen.Path(2)
+	ls, _ := cholesky.NewLapSolver(g)
+	if _, err := SpectralDrawing(g, ls, 1); err == nil {
+		t.Fatal("tiny graph should fail")
+	}
+}
+
+func TestDrawingCorrelationSelf(t *testing.T) {
+	g, err := gen.Grid2D(8, 10, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SpectralDrawing(g, ls, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DrawingCorrelation(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-9 {
+		t.Fatalf("self correlation %v, want 1", c)
+	}
+	if _, err := DrawingCorrelation(a, a[:3]); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+}
+
+func TestDrawingSparsifierMatchesOriginal(t *testing.T) {
+	// The Fig. 1 claim: sparsifier drawings resemble the original's.
+	g, _, err := gen.Annulus(8, 24, gen.UnitWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Sparsify(g, core.Options{SigmaSq: 15, Seed: 5})
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		t.Fatal(err)
+	}
+	lsG, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsP, err := cholesky.NewLapSolver(res.Sparsifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := SpectralDrawing(g, lsG, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := SpectralDrawing(res.Sparsifier, lsP, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DrawingCorrelation(dg, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.7 {
+		t.Fatalf("drawing correlation %v < 0.7; sparsifier layout diverged", c)
+	}
+}

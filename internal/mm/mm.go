@@ -1,0 +1,251 @@
+// Package mm reads and writes MatrixMarket (.mtx) coordinate files and
+// converts general sparse matrices into graph Laplacians using the rule
+// stated in §4 of the paper: each edge weight is the absolute value of the
+// corresponding nonzero in the lower triangular part, and pattern-only
+// matrices get unit weights.
+//
+// Only the "coordinate" format is supported (the one the SuiteSparse
+// collection uses for the paper's test cases); "array" (dense) files are
+// rejected with a typed error.
+package mm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"graphspar/internal/graph"
+	"graphspar/internal/sparse"
+)
+
+// Errors returned by the reader.
+var (
+	ErrFormat      = errors.New("mm: malformed MatrixMarket file")
+	ErrUnsupported = errors.New("mm: unsupported MatrixMarket variant")
+)
+
+// Symmetry describes the symmetry declaration in the header.
+type Symmetry int
+
+// Supported symmetry kinds.
+const (
+	General Symmetry = iota
+	Symmetric
+	SkewSymmetric
+)
+
+// Matrix is a parsed MatrixMarket file, kept in COO form with 0-based
+// indices and the symmetry declaration preserved (entries are stored as
+// they appear in the file: for symmetric files only the lower triangle).
+type Matrix struct {
+	Rows, Cols int
+	Entries    []sparse.Coord
+	Sym        Symmetry
+	Pattern    bool // pattern files carry no values; Val is set to 1
+}
+
+// Read parses a MatrixMarket coordinate file.
+func Read(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("%w: bad header %q", ErrFormat, sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("%w: format %q (only coordinate)", ErrUnsupported, header[2])
+	}
+	field := header[3]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("%w: field %q", ErrUnsupported, field)
+	}
+	var sym Symmetry
+	switch header[4] {
+	case "general":
+		sym = General
+	case "symmetric":
+		sym = Symmetric
+	case "skew-symmetric":
+		sym = SkewSymmetric
+	default:
+		return nil, fmt.Errorf("%w: symmetry %q", ErrUnsupported, header[4])
+	}
+
+	// Size line (skipping comments and blanks).
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: missing size line", ErrFormat)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("%w: size line %q", ErrFormat, line)
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if nnz, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: negative size", ErrFormat)
+	}
+
+	m := &Matrix{Rows: rows, Cols: cols, Sym: sym, Pattern: field == "pattern"}
+	m.Entries = make([]sparse.Coord, 0, nnz)
+	for len(m.Entries) < nnz {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrFormat, nnz, len(m.Entries))
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		wantFields := 3
+		if m.Pattern {
+			wantFields = 2
+		}
+		if len(f) < wantFields {
+			return nil, fmt.Errorf("%w: entry line %q", ErrFormat, line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("%w: index (%d,%d) outside %dx%d", ErrFormat, i, j, rows, cols)
+		}
+		v := 1.0
+		if !m.Pattern {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+		}
+		m.Entries = append(m.Entries, sparse.Coord{Row: i - 1, Col: j - 1, Val: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CSR expands the parsed matrix (applying the declared symmetry) into CSR.
+func (m *Matrix) CSR() *sparse.CSR {
+	b := sparse.NewBuilder(m.Rows, m.Cols)
+	for _, e := range m.Entries {
+		b.Add(e.Row, e.Col, e.Val)
+		if e.Row != e.Col {
+			switch m.Sym {
+			case Symmetric:
+				b.Add(e.Col, e.Row, e.Val)
+			case SkewSymmetric:
+				b.Add(e.Col, e.Row, -e.Val)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToGraph converts the matrix to an undirected weighted graph per the
+// paper's rule: scan the strict lower triangle (after applying symmetry for
+// general matrices this means every off-diagonal position (i,j), i>j, with
+// a nonzero in either orientation), set w = |value| (or 1 for pattern
+// files), and drop diagonal entries. Zero-valued entries are ignored.
+func (m *Matrix) ToGraph() (*graph.Graph, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: %dx%d matrix is not square", ErrUnsupported, m.Rows, m.Cols)
+	}
+	type key struct{ u, v int }
+	weights := make(map[key]float64)
+	addEntry := func(r, c int, v float64) {
+		if r == c || v == 0 {
+			return
+		}
+		u, w := r, c
+		if u < w {
+			u, w = w, u
+		}
+		k := key{u, w} // u > w: strict lower triangle position
+		a := math.Abs(v)
+		if a > weights[k] {
+			weights[k] = a // keep the dominant magnitude for duplicated positions
+		}
+	}
+	for _, e := range m.Entries {
+		addEntry(e.Row, e.Col, e.Val)
+	}
+	edges := make([]graph.Edge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, graph.Edge{U: k.v, V: k.u, W: w})
+	}
+	return graph.New(m.Rows, edges)
+}
+
+// WriteGraph writes a graph's Laplacian sparsity pattern as a symmetric
+// real coordinate MatrixMarket file (strict lower triangle of -w entries
+// plus the diagonal). The companion of ToGraph for round-tripping
+// sparsifiers back to disk.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.N()
+	deg := g.WeightedDegrees()
+	nnz := g.M() + n
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n%% graphspar Laplacian export\n%d %d %d\n", n, n, nnz); err != nil {
+		return err
+	}
+	// Diagonal first, then lower-triangle off-diagonals ordered by (U,V).
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, i+1, deg[i]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		// e.U < e.V so row e.V, col e.U is the lower triangle.
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", e.V+1, e.U+1, -e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeList writes the graph as a general coordinate file holding one
+// entry per undirected edge (row>col, positive weight) — a compact
+// adjacency export some tools prefer over Laplacians.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n%% graphspar adjacency export\n%d %d %d\n", g.N(), g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", e.V+1, e.U+1, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/vecmath"
+)
+
+func TestHierarchyCoarsensGeometrically(t *testing.T) {
+	g, err := gen.Grid2D(50, 50, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(g, Options{CoarsestSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each level should shrink substantially (aggregation merges
+	// neighborhoods); 2500 vertices need only a handful of levels.
+	if h.Levels() > 10 {
+		t.Fatalf("too many levels: %d", h.Levels())
+	}
+	if h.Levels() < 3 {
+		t.Fatalf("suspiciously shallow hierarchy: %d", h.Levels())
+	}
+}
+
+func TestSolveHeavyTailedWeights(t *testing.T) {
+	g, err := gen.Grid2D(20, 20, gen.LogUniform, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	b := make([]float64, n)
+	vecmath.NewRNG(7).FillNormal(b)
+	vecmath.Deflate(b)
+	x := make([]float64, n)
+	res, err := h.Solve(x, b, 1e-6, 500)
+	if err != nil {
+		t.Fatalf("heavy-tailed solve: %v (%+v)", err, res)
+	}
+	y := make([]float64, n)
+	g.LapMulVec(y, x)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-4*(1+math.Abs(b[i])) {
+			t.Fatalf("residual too large at %d", i)
+		}
+	}
+}
+
+func TestSolveMaxCyclesError(t *testing.T) {
+	g, err := gen.Grid2D(15, 15, gen.UniformWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(g, Options{PreSmooth: 1, PostSmooth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	b := make([]float64, n)
+	vecmath.NewRNG(9).FillNormal(b)
+	vecmath.Deflate(b)
+	x := make([]float64, n)
+	res, err := h.Solve(x, b, 1e-14, 1)
+	if err == nil {
+		t.Fatalf("one cycle to 1e-14 should fail, got %+v", res)
+	}
+	if res.Converged {
+		t.Fatal("must not report convergence")
+	}
+}
+
+func TestPreconditionDeterministic(t *testing.T) {
+	g, err := gen.Grid2D(12, 12, gen.UniformWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	r := make([]float64, n)
+	vecmath.NewRNG(11).FillNormal(r)
+	vecmath.Deflate(r)
+	z1 := make([]float64, n)
+	z2 := make([]float64, n)
+	h.Precondition(z1, r)
+	h.Precondition(z2, r)
+	for i := range z1 {
+		if z1[i] != z2[i] {
+			t.Fatal("V-cycle must be deterministic")
+		}
+	}
+}

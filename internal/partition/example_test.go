@@ -1,0 +1,50 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/partition"
+)
+
+// ExampleSpectralBisect splits a long grid with the sign cut of the
+// Fiedler vector; the natural cut is across the short dimension, giving a
+// perfectly balanced partition.
+func ExampleSpectralBisect() {
+	g, err := gen.Grid2D(8, 32, gen.UnitWeights, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := partition.SpectralBisect(g, partition.Options{
+		Method: partition.Direct, Seed: 3, MaxIter: 200, Tol: 1e-12,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cut, err := partition.CutWeight(g, res.Signs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("balance:", res.Balance())
+	fmt.Println("cut edges:", int(cut))
+	// Output:
+	// balance: 1
+	// cut edges: 8
+}
+
+// ExampleRecursiveBisect produces a 4-way partition of a mesh.
+func ExampleRecursiveBisect() {
+	g, err := gen.Grid2D(16, 16, gen.UnitWeights, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := partition.RecursiveBisect(g, 4, partition.Options{Method: partition.Direct, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("parts:", res.Parts)
+	fmt.Println("labels cover all vertices:", len(res.Labels) == g.N())
+	// Output:
+	// parts: 4
+	// labels cover all vertices: true
+}

@@ -1,0 +1,38 @@
+package pcg_test
+
+import (
+	"fmt"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/lsst"
+	"graphspar/internal/pcg"
+	"graphspar/internal/vecmath"
+)
+
+// ExampleSolveLaplacian solves a graph Laplacian system with a
+// spanning-tree preconditioner.
+func ExampleSolveLaplacian() {
+	g, err := gen.Grid2D(20, 20, gen.UniformWeights, 7)
+	if err != nil {
+		panic(err)
+	}
+	tr, _, _, err := lsst.Extract(g, lsst.MaxWeight, 1)
+	if err != nil {
+		panic(err)
+	}
+	n := g.N()
+	b := make([]float64, n)
+	vecmath.NewRNG(3).FillNormal(b)
+	vecmath.Deflate(b)
+
+	x := make([]float64, n)
+	res, err := pcg.SolveLaplacian(g, pcg.TreePrecond{T: tr}, x, b, 1e-8, 10*n)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("residual below tol:", res.Residual <= 1e-8)
+	// Output:
+	// converged: true
+	// residual below tol: true
+}

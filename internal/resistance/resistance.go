@@ -1,0 +1,196 @@
+// Package resistance computes effective resistances of graph edges —
+// exactly via Laplacian solves, or approximately via the
+// Johnson–Lindenstrauss sketch of Spielman–Srivastava — and implements the
+// resistance-based edge sampling sparsifier of [17] plus a uniform-sampling
+// control. These are the baselines the paper positions itself against
+// (§1) and are exercised by ablation A5.
+package resistance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"graphspar/internal/graph"
+	"graphspar/internal/vecmath"
+)
+
+// LapSolver applies x = L⁺ b (same contract as eig.LapSolver).
+type LapSolver interface {
+	Solve(x, b []float64)
+}
+
+// PointToPoint returns the effective resistance between u and v:
+// R(u,v) = (e_u − e_v)ᵀ L⁺ (e_u − e_v), computed with one solve.
+func PointToPoint(g *graph.Graph, solver LapSolver, u, v int) (float64, error) {
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, fmt.Errorf("resistance: vertex out of range (%d,%d)", u, v)
+	}
+	if u == v {
+		return 0, nil
+	}
+	b := make([]float64, n)
+	b[u], b[v] = 1, -1
+	x := make([]float64, n)
+	solver.Solve(x, b)
+	return x[u] - x[v], nil
+}
+
+// AllEdgesExact returns R(e) for every edge of g with one solve per edge.
+// Quadratic-ish cost; intended for tests and small reference runs.
+func AllEdgesExact(g *graph.Graph, solver LapSolver) ([]float64, error) {
+	rs := make([]float64, g.M())
+	n := g.N()
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i, e := range g.Edges() {
+		for j := range b {
+			b[j] = 0
+		}
+		b[e.U], b[e.V] = 1, -1
+		solver.Solve(x, b)
+		r := x[e.U] - x[e.V]
+		if r < 0 {
+			if r < -1e-9 {
+				return nil, fmt.Errorf("resistance: negative resistance %v on edge %d", r, i)
+			}
+			r = 0
+		}
+		rs[i] = r
+	}
+	return rs, nil
+}
+
+// ApproxAllEdges estimates all edge resistances with the JL sketch:
+// k solves produce Z = Q W^½ B L⁺ (Q random ±1/√k), and
+// R(u,v) ≈ ‖Z(e_u − e_v)‖². Relative error ~ O(1/√k).
+func ApproxAllEdges(g *graph.Graph, solver LapSolver, k int, seed uint64) ([]float64, error) {
+	if k < 1 {
+		return nil, errors.New("resistance: sketch dimension must be positive")
+	}
+	n, m := g.N(), g.M()
+	rng := vecmath.NewRNG(seed)
+	z := make([][]float64, k)
+	y := make([]float64, n)
+	q := make([]float64, m)
+	scale := 1 / math.Sqrt(float64(k))
+	for row := 0; row < k; row++ {
+		rng.FillRademacher(q)
+		// y = Bᵀ W^½ q accumulated edge-wise.
+		vecmath.Zero(y)
+		for i, e := range g.Edges() {
+			s := scale * q[i] * math.Sqrt(e.W)
+			y[e.U] += s
+			y[e.V] -= s
+		}
+		zi := make([]float64, n)
+		solver.Solve(zi, y)
+		z[row] = zi
+	}
+	rs := make([]float64, m)
+	for i, e := range g.Edges() {
+		var s float64
+		for row := 0; row < k; row++ {
+			d := z[row][e.U] - z[row][e.V]
+			s += d * d
+		}
+		rs[i] = s
+	}
+	return rs, nil
+}
+
+// SampleOptions controls the sampling sparsifiers.
+type SampleOptions struct {
+	Samples int  // number of draws q (with replacement)
+	Seed    uint64
+	// KeepBackbone unions the sample with the given spanning-tree edge ids
+	// so the result is guaranteed connected (the paper's framework always
+	// keeps a tree; sampling baselines often need the same crutch).
+	Backbone []int
+}
+
+// bySampling draws q edges with the given distribution (cumulative weights
+// cum over edges), reweights each pick by w_e/(q·p_e), merges duplicates,
+// and optionally unions a backbone.
+func bySampling(g *graph.Graph, probs []float64, opt SampleOptions) (*graph.Graph, error) {
+	if opt.Samples < 1 {
+		return nil, errors.New("resistance: Samples must be positive")
+	}
+	m := g.M()
+	if len(probs) != m {
+		return nil, errors.New("resistance: probability vector length mismatch")
+	}
+	var total float64
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return nil, errors.New("resistance: negative sampling probability")
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, errors.New("resistance: zero probability mass")
+	}
+	cum := make([]float64, m)
+	run := 0.0
+	for i, p := range probs {
+		run += p / total
+		cum[i] = run
+	}
+	rng := vecmath.NewRNG(opt.Seed)
+	weightAcc := make(map[int]float64)
+	q := float64(opt.Samples)
+	for s := 0; s < opt.Samples; s++ {
+		r := rng.Float64()
+		// Binary search in cum.
+		lo, hi := 0, m-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		e := g.Edge(lo)
+		pe := probs[lo] / total
+		weightAcc[lo] += e.W / (q * pe)
+	}
+	for _, id := range opt.Backbone {
+		if id < 0 || id >= m {
+			return nil, fmt.Errorf("resistance: backbone id %d out of range", id)
+		}
+		if _, ok := weightAcc[id]; !ok {
+			weightAcc[id] = g.Edge(id).W
+		}
+	}
+	edges := make([]graph.Edge, 0, len(weightAcc))
+	for id, w := range weightAcc {
+		e := g.Edge(id)
+		edges = append(edges, graph.Edge{U: e.U, V: e.V, W: w})
+	}
+	return graph.New(g.N(), edges)
+}
+
+// SpielmanSrivastava samples edges with probability proportional to
+// w_e·R(e) (leverage scores), the spectral sparsifier of [17]. rs are the
+// (possibly approximate) edge resistances.
+func SpielmanSrivastava(g *graph.Graph, rs []float64, opt SampleOptions) (*graph.Graph, error) {
+	if len(rs) != g.M() {
+		return nil, errors.New("resistance: resistance vector length mismatch")
+	}
+	probs := make([]float64, g.M())
+	for i, e := range g.Edges() {
+		probs[i] = e.W * rs[i]
+	}
+	return bySampling(g, probs, opt)
+}
+
+// UniformSample samples edges uniformly — the strawman baseline.
+func UniformSample(g *graph.Graph, opt SampleOptions) (*graph.Graph, error) {
+	probs := make([]float64, g.M())
+	for i := range probs {
+		probs[i] = 1
+	}
+	return bySampling(g, probs, opt)
+}

@@ -1,0 +1,218 @@
+package sddm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/sparse"
+	"graphspar/internal/vecmath"
+)
+
+// randSDD builds a random connected SDD matrix with the given excess mass.
+func randSDD(n int, excessScale float64, rng *vecmath.RNG) *sparse.CSR {
+	b := sparse.NewBuilder(n, n)
+	diag := make([]float64, n)
+	// Ring for connectivity plus random couplings.
+	add := func(i, j int, w float64) {
+		b.Add(i, j, -w)
+		b.Add(j, i, -w)
+		diag[i] += w
+		diag[j] += w
+	}
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n, 0.5+rng.Float64())
+	}
+	for e := 0; e < 2*n; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			add(i, j, 0.5+rng.Float64())
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, diag[i]+excessScale*rng.Float64())
+	}
+	return b.Build()
+}
+
+func TestDecomposePureLaplacian(t *testing.T) {
+	g, _ := gen.Grid2D(5, 5, gen.UniformWeights, 1)
+	dec, err := Decompose(g.Laplacian(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Grounded {
+		t.Fatal("pure Laplacian should not be grounded")
+	}
+	if dec.G.M() != g.M() {
+		t.Fatalf("graph changed: %d vs %d", dec.G.M(), g.M())
+	}
+	for i, e := range dec.Excess {
+		if e > 1e-9 {
+			t.Fatalf("excess[%d] = %v for a Laplacian", i, e)
+		}
+	}
+}
+
+func TestDecomposeWithExcess(t *testing.T) {
+	rng := vecmath.NewRNG(3)
+	a := randSDD(20, 2.0, rng)
+	dec, err := Decompose(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Grounded {
+		t.Fatal("matrix with excess diagonal must be grounded")
+	}
+	aug, ground, err := dec.AugmentedGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.N() != 21 || ground != 20 {
+		t.Fatalf("augmented shape: n=%d ground=%d", aug.N(), ground)
+	}
+	if !aug.IsConnected() {
+		t.Fatal("augmented graph must be connected")
+	}
+}
+
+func TestDecomposeRejects(t *testing.T) {
+	// Non-square.
+	b := sparse.NewBuilder(2, 3)
+	b.Add(0, 0, 1)
+	if _, err := Decompose(b.Build(), 0); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("err = %v", err)
+	}
+	// Not diagonally dominant.
+	b2 := sparse.NewBuilder(2, 2)
+	b2.Add(0, 0, 1)
+	b2.Add(0, 1, -5)
+	b2.Add(1, 0, -5)
+	b2.Add(1, 1, 1)
+	if _, err := Decompose(b2.Build(), 0); !errors.Is(err, ErrNotSDD) {
+		t.Fatalf("err = %v", err)
+	}
+	// Not symmetric.
+	b3 := sparse.NewBuilder(2, 2)
+	b3.Add(0, 0, 2)
+	b3.Add(0, 1, -1)
+	b3.Add(1, 1, 2)
+	if _, err := Decompose(b3.Build(), 0); !errors.Is(err, ErrNotSDD) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolverGroundedSystem(t *testing.T) {
+	rng := vecmath.NewRNG(5)
+	n := 60
+	a := randSDD(n, 1.0, rng)
+	s, err := NewSolver(a, Options{SigmaSq: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	rng.FillNormal(b)
+	x := make([]float64, n)
+	res, err := s.Solve(x, b, 1e-9, 0)
+	if err != nil {
+		t.Fatalf("solve: %v (%+v)", err, res)
+	}
+	// True residual against A (not the Laplacian surrogate).
+	y := make([]float64, n)
+	a.MulVec(y, x)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+			t.Fatalf("Ax != b at %d: %v vs %v", i, y[i], b[i])
+		}
+	}
+	if res.Residual > 1e-6 {
+		t.Fatalf("reported residual %v", res.Residual)
+	}
+}
+
+func TestSolverLaplacianPath(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, gen.UniformWeights, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(g.Laplacian(), Options{SigmaSq: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	b := make([]float64, n)
+	vecmath.NewRNG(9).FillNormal(b)
+	vecmath.Deflate(b)
+	x := make([]float64, n)
+	res, err := s.Solve(x, b, 1e-9, 0)
+	if err != nil || !res.Converged {
+		t.Fatalf("solve: %v (%+v)", err, res)
+	}
+	y := make([]float64, n)
+	g.LapMulVec(y, x)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-6 {
+			t.Fatalf("Lx != b at %d", i)
+		}
+	}
+}
+
+func TestSolverSparReport(t *testing.T) {
+	rng := vecmath.NewRNG(11)
+	a := randSDD(80, 0.5, rng)
+	s, err := NewSolver(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spar == nil || s.Spar.Sparsifier == nil {
+		t.Fatal("sparsification result not exposed")
+	}
+	if s.Spar.SigmaSqAchieved <= 0 {
+		t.Fatal("no similarity estimate")
+	}
+}
+
+// Property: the solver inverts random SDD matrices of both kinds (with and
+// without excess), verified against the true matrix residual.
+func TestQuickSolveSDD(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := vecmath.NewRNG(seed)
+		n := 10 + rng.Intn(40)
+		excess := 0.0
+		if seed%2 == 0 {
+			excess = 1.5
+		}
+		a := randSDD(n, excess, rng)
+		s, err := NewSolver(a, Options{SigmaSq: 30, Seed: seed})
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		rng.FillNormal(b)
+		if excess == 0 {
+			vecmath.Deflate(b)
+		}
+		x := make([]float64, n)
+		if _, err := s.Solve(x, b, 1e-9, 0); err != nil {
+			return false
+		}
+		y := make([]float64, n)
+		a.MulVec(y, x)
+		if excess == 0 {
+			// Singular system: compare mean-free parts.
+			vecmath.Deflate(y)
+			vecmath.Deflate(b)
+		}
+		for i := range b {
+			if math.Abs(y[i]-b[i]) > 1e-5*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
