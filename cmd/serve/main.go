@@ -1,0 +1,118 @@
+// Command serve runs sparsifyd, the long-running HTTP sparsification
+// service: a graph registry (MatrixMarket uploads or generator specs), an
+// async job queue bounded by a worker pool, and an LRU result cache.
+//
+// Usage:
+//
+//	serve -addr :8080 -workers 4 -backlog 64 -cache 128
+//	serve -addr :8080 -preload grid40=grid:40x40:uniform -preload road=usroads.mtx
+//
+// See README.md for the HTTP API and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphspar/internal/cli"
+	"graphspar/internal/service"
+)
+
+// preloads collects repeated -preload name=spec flags.
+type preloads []string
+
+func (p *preloads) String() string { return strings.Join(*p, ",") }
+func (p *preloads) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return errors.New("want name=spec")
+	}
+	*p = append(*p, s)
+	return nil
+}
+
+func main() {
+	var pre preloads
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 4, "concurrent sparsification jobs")
+		backlog = flag.Int("backlog", 64, "queued jobs beyond the running ones")
+		cache   = flag.Int("cache", 128, "result-cache capacity (0 disables)")
+		seed    = flag.Uint64("seed", 1, "seed for -preload generator specs")
+	)
+	flag.Var(&pre, "preload", "register name=SPEC at startup (repeatable); "+cli.SpecHelp)
+	flag.Parse()
+
+	// Config treats 0 as "use the default", so translate the flags' "0
+	// disables" convention into the explicit negative form.
+	disableZero := func(v int) int {
+		if v == 0 {
+			return -1
+		}
+		return v
+	}
+	srv := service.NewServer(service.Config{
+		Workers:   *workers,
+		Backlog:   disableZero(*backlog),
+		CacheSize: disableZero(*cache),
+	})
+	for _, p := range pre {
+		name, spec, _ := strings.Cut(p, "=")
+		g, err := cli.LoadGraph(spec, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("preload %s: %w", name, err))
+		}
+		// Same gate the HTTP registration paths apply: fail at boot, not
+		// on the first job.
+		if err := g.RequireConnected(); err != nil {
+			fatal(fmt.Errorf("preload %s: %w", name, err))
+		}
+		entry, err := srv.Registry().Register(name, spec, g)
+		if err != nil {
+			fatal(fmt.Errorf("preload %s: %w", name, err))
+		}
+		log.Printf("preloaded %s: |V|=%d |E|=%d hash=%s", name, entry.N, entry.M, entry.Hash[:12])
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("sparsifyd listening on %s (workers=%d backlog=%d cache=%d)",
+		*addr, *workers, *backlog, *cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Queue().Shutdown(ctx); err != nil {
+		log.Printf("queue shutdown: %v", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

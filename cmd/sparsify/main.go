@@ -32,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
-	alg, err := parseTree(*treeAlg)
+	alg, err := lsst.Parse(*treeAlg)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,19 +73,6 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
-	}
-}
-
-func parseTree(s string) (lsst.Algorithm, error) {
-	switch s {
-	case "maxweight":
-		return lsst.MaxWeight, nil
-	case "dijkstra":
-		return lsst.Dijkstra, nil
-	case "akpw":
-		return lsst.AKPW, nil
-	default:
-		return 0, fmt.Errorf("unknown tree algorithm %q", s)
 	}
 }
 

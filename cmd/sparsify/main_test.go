@@ -13,12 +13,12 @@ func TestParseTree(t *testing.T) {
 		"akpw":      lsst.AKPW,
 	}
 	for s, want := range cases {
-		got, err := parseTree(s)
+		got, err := lsst.Parse(s)
 		if err != nil || got != want {
-			t.Fatalf("parseTree(%q) = %v, %v", s, got, err)
+			t.Fatalf("lsst.Parse(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := parseTree("bogus"); err == nil {
+	if _, err := lsst.Parse("bogus"); err == nil {
 		t.Fatal("bogus algorithm should fail")
 	}
 }

@@ -1,0 +1,3 @@
+module graphspar
+
+go 1.24

@@ -19,7 +19,7 @@ import (
 
 // Errors returned by the factorization.
 var (
-	ErrNotSPD   = errors.New("cholesky: matrix is not positive definite")
+	ErrNotSPD    = errors.New("cholesky: matrix is not positive definite")
 	ErrNotSquare = errors.New("cholesky: matrix is not square")
 )
 
@@ -155,8 +155,8 @@ func FactorCSR(a *sparse.CSR, perm []int) (*Factor, error) {
 	for i := range w {
 		w[i] = -1
 	}
-	x := make([]float64, n)       // dense accumulator for row k
-	colNext := make([]int, n)     // next free slot per column
+	x := make([]float64, n)   // dense accumulator for row k
+	colNext := make([]int, n) // next free slot per column
 	// Diagonal entries go in first; colNext starts just past them.
 	for j := 0; j < n; j++ {
 		colNext[j] = colPtr[j] + 1

@@ -82,8 +82,8 @@ func GeneralizedPowerMax(g, p *graph.Graph, solver LapSolver, iters int, tol flo
 	prev := math.Inf(1)
 	res := PowerResult{Vector: h}
 	for it := 1; it <= iters; it++ {
-		g.LapMulVec(y, h)   // y = L_G h
-		solver.Solve(z, y)  // z = L_P⁺ y
+		g.LapMulVec(y, h)  // y = L_G h
+		solver.Solve(z, y) // z = L_P⁺ y
 		vecmath.Deflate(z)
 		if vecmath.Normalize(z) == 0 {
 			return res, errors.New("eig: power iteration collapsed to null space")
@@ -153,8 +153,8 @@ func GeneralizedLanczos(g, p *graph.Graph, solver LapSolver, k int, seed uint64)
 	y := make([]float64, n)
 	for j := 0; j < k; j++ {
 		vj := v[j]
-		g.LapMulVec(y, vj)  // y = L_G v_j
-		solver.Solve(w, y)  // w = L_P⁺ L_G v_j
+		g.LapMulVec(y, vj) // y = L_G v_j
+		solver.Solve(w, y) // w = L_P⁺ L_G v_j
 		vecmath.Deflate(w)
 		a := bDot(w, vj)
 		alpha = append(alpha, a)

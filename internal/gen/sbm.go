@@ -89,7 +89,7 @@ func PowerGrid(rows, cols, layers int, seed uint64) (*graph.Graph, error) {
 	for l := 0; l+1 < layers; l++ {
 		for r := 0; r < rows; r += 2 {
 			for c := 0; c < cols; c += 2 {
-				edges = append(edges, graph.Edge{U: id(l, r, c), V: id(l + 1, r, c), W: 10 * (0.5 + rng.Float64())})
+				edges = append(edges, graph.Edge{U: id(l, r, c), V: id(l+1, r, c), W: 10 * (0.5 + rng.Float64())})
 			}
 		}
 	}

@@ -52,6 +52,21 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Parse is the inverse of String, for flags and wire formats. The empty
+// string maps to the MaxWeight default.
+func Parse(name string) (Algorithm, error) {
+	switch name {
+	case "", "maxweight":
+		return MaxWeight, nil
+	case "dijkstra":
+		return Dijkstra, nil
+	case "akpw":
+		return AKPW, nil
+	default:
+		return 0, fmt.Errorf("lsst: unknown tree algorithm %q", name)
+	}
+}
+
 // UnionFind is a classic disjoint-set forest with path halving and union
 // by rank.
 type UnionFind struct {

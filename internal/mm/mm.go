@@ -112,7 +112,15 @@ func Read(r io.Reader) (*Matrix, error) {
 	}
 
 	m := &Matrix{Rows: rows, Cols: cols, Sym: sym, Pattern: field == "pattern"}
-	m.Entries = make([]sparse.Coord, 0, nnz)
+	// Clamp the pre-allocation: nnz comes from the (possibly hostile)
+	// header, so a tiny input declaring nnz=4e9 must not allocate
+	// gigabytes up front. Beyond the clamp append grows as entries
+	// actually arrive, and a short file still fails the count check below.
+	capHint := nnz
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	m.Entries = make([]sparse.Coord, 0, capHint)
 	for len(m.Entries) < nnz {
 		if !sc.Scan() {
 			return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrFormat, nnz, len(m.Entries))

@@ -102,7 +102,7 @@ func ApproxAllEdges(g *graph.Graph, solver LapSolver, k int, seed uint64) ([]flo
 
 // SampleOptions controls the sampling sparsifiers.
 type SampleOptions struct {
-	Samples int  // number of draws q (with replacement)
+	Samples int // number of draws q (with replacement)
 	Seed    uint64
 	// KeepBackbone unions the sample with the given spanning-tree edge ids
 	// so the result is guaranteed connected (the paper's framework always

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"graphspar/internal/lsst"
+)
+
+// SparsifyParams is the canonical, fully-defaulted request that keys the
+// result cache. Handlers fill it from the JSON body and call Canon before
+// any lookup, so two requests that differ only in spelled-out defaults
+// (e.g. t omitted vs. t=2) hit the same cache line.
+type SparsifyParams struct {
+	SigmaSq    float64 `json:"sigma2"`
+	T          int     `json:"t,omitempty"`
+	NumVectors int     `json:"r,omitempty"`
+	TreeAlg    string  `json:"tree,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	MaxEdges   int     `json:"max_edges,omitempty"`
+}
+
+// Wire-parameter ceilings: the paper uses t ≤ 3 and r = O(log n), so
+// these bounds are far above any useful setting while keeping a remote
+// client from submitting unbounded (and uncancellable) per-job CPU work.
+const (
+	maxT          = 16
+	maxNumVectors = 1024
+)
+
+// Canon applies the service-level defaults (matching core.Options'
+// defaulting where the values are n-independent) and normalizes the tree
+// algorithm name. It returns an error for unusable values.
+func (p *SparsifyParams) Canon() error {
+	if !(p.SigmaSq > 1) {
+		return fmt.Errorf("sigma2 must be > 1, got %v", p.SigmaSq)
+	}
+	if p.T <= 0 {
+		p.T = 2
+	}
+	if p.T > maxT {
+		return fmt.Errorf("t must be at most %d, got %d", maxT, p.T)
+	}
+	if p.NumVectors < 0 {
+		p.NumVectors = 0 // 0 keeps core's O(log n) default
+	}
+	if p.NumVectors > maxNumVectors {
+		return fmt.Errorf("r must be at most %d, got %d", maxNumVectors, p.NumVectors)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MaxEdges < 0 {
+		p.MaxEdges = 0
+	}
+	alg, err := lsst.Parse(p.TreeAlg)
+	if err != nil {
+		return err
+	}
+	p.TreeAlg = alg.String()
+	return nil
+}
+
+// key returns the exact cache key for canonicalized params on a graph.
+func (p SparsifyParams) key(graphHash string) string {
+	return fmt.Sprintf("%s|s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|max=%d",
+		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges)
+}
+
+// family groups cache lines that differ only in σ², enabling the
+// coarser-target lookup: a sparsifier built for σ²=50 also certifies any
+// request for σ² ≥ 50 on the same graph with the same knobs.
+func (p SparsifyParams) family(graphHash string) string {
+	return fmt.Sprintf("%s|t=%d|r=%d|tree=%s|seed=%d|max=%d",
+		graphHash, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges)
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	CoarserHits int64 `json:"coarser_hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Capacity    int   `json:"capacity"`
+}
+
+type cacheEntry struct {
+	key     string
+	family  string
+	sigmaSq float64 // requested target this entry was built for
+	result  *JobResult
+}
+
+// ResultCache is a bounded LRU of completed sparsification results.
+// Lookup supports both exact matches and "coarser σ²" matches: among the
+// cached entries for the same (graph, knobs) family, the one with the
+// smallest requested σ² that still meets the asked target is reused.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	byKey    map[string]*list.Element // exact key → element
+	byFamily map[string]map[*list.Element]struct{}
+	stats    CacheStats
+}
+
+// NewResultCache builds a cache holding up to capacity results
+// (capacity <= 0 disables caching: every lookup misses, every put drops).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		byFamily: make(map[string]map[*list.Element]struct{}),
+	}
+}
+
+// Get returns a cached result for the request, trying the exact key
+// first and then the best coarser-σ² entry in the same family. The
+// second return distinguishes exact hits (CacheExact), coarser hits
+// (CacheCoarser), and misses (CacheMiss).
+func (c *ResultCache) Get(graphHash string, p SparsifyParams) (*JobResult, CacheOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[p.key(graphHash)]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheEntry).result, CacheExact
+	}
+	// Coarser lookup: any family entry built for a tighter or equal σ²
+	// whose achieved condition number still meets this request.
+	var best *list.Element
+	for el := range c.byFamily[p.family(graphHash)] {
+		ce := el.Value.(*cacheEntry)
+		if ce.sigmaSq <= p.SigmaSq && ce.result.SigmaSqAchieved <= p.SigmaSq {
+			if best == nil || ce.sigmaSq > best.Value.(*cacheEntry).sigmaSq {
+				best = el // prefer the sparsest certificate that still qualifies
+			}
+		}
+	}
+	if best != nil {
+		c.ll.MoveToFront(best)
+		c.stats.CoarserHits++
+		// Re-judge the target flag against THIS request: the stored result
+		// may have missed its own (tighter) target while still certifying
+		// the looser one asked for here.
+		res := *best.Value.(*cacheEntry).result
+		res.TargetMet = res.SigmaSqAchieved <= p.SigmaSq
+		// Memoize under the exact key so repeats of this request take the
+		// O(1) path instead of rescanning the family. The alias keeps the
+		// source's build-σ² so certificate preference stays truthful.
+		c.putLocked(graphHash, p, best.Value.(*cacheEntry).sigmaSq, &res)
+		return &res, CacheCoarser
+	}
+	c.stats.Misses++
+	return nil, CacheMiss
+}
+
+// CacheOutcome labels a cache lookup.
+type CacheOutcome string
+
+// Lookup outcomes.
+const (
+	CacheMiss    CacheOutcome = "miss"
+	CacheExact   CacheOutcome = "exact"
+	CacheCoarser CacheOutcome = "coarser"
+)
+
+// Put stores a completed result, evicting the least recently used entry
+// when over capacity.
+func (c *ResultCache) Put(graphHash string, p SparsifyParams, res *JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(graphHash, p, p.SigmaSq, res)
+}
+
+// putLocked inserts under p's exact key; buildSigma records which target
+// the result was actually built for (differs from p.SigmaSq for alias
+// entries created on coarser hits).
+func (c *ResultCache) putLocked(graphHash string, p SparsifyParams, buildSigma float64, res *JobResult) {
+	if c.capacity <= 0 || res == nil {
+		return
+	}
+	key := p.key(graphHash)
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).result = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	ce := &cacheEntry{key: key, family: p.family(graphHash), sigmaSq: buildSigma, result: res}
+	el := c.ll.PushFront(ce)
+	c.byKey[key] = el
+	fam := c.byFamily[ce.family]
+	if fam == nil {
+		fam = make(map[*list.Element]struct{})
+		c.byFamily[ce.family] = fam
+	}
+	fam[el] = struct{}{}
+	for c.ll.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+func (c *ResultCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.ll.Remove(el)
+	ce := el.Value.(*cacheEntry)
+	delete(c.byKey, ce.key)
+	if fam := c.byFamily[ce.family]; fam != nil {
+		delete(fam, el)
+		if len(fam) == 0 {
+			delete(c.byFamily, ce.family)
+		}
+	}
+	c.stats.Evictions++
+}
+
+// Stats snapshots the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Capacity = c.capacity
+	return s
+}
+
+// Len reports the number of cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func params(sigma float64) SparsifyParams {
+	p := SparsifyParams{SigmaSq: sigma}
+	if err := p.Canon(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func result(achieved float64) *JobResult {
+	return &JobResult{SigmaSqAchieved: achieved, TargetMet: true}
+}
+
+func TestParamsCanon(t *testing.T) {
+	p := SparsifyParams{SigmaSq: 100}
+	if err := p.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if p.T != 2 || p.Seed != 1 || p.TreeAlg != "maxweight" {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	// Spelled-out defaults key identically to omitted ones.
+	q := SparsifyParams{SigmaSq: 100, T: 2, Seed: 1, TreeAlg: "maxweight"}
+	if err := q.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if p.key("h") != q.key("h") {
+		t.Errorf("canonical keys differ: %q vs %q", p.key("h"), q.key("h"))
+	}
+
+	for _, bad := range []SparsifyParams{
+		{SigmaSq: 0},
+		{SigmaSq: 1},
+		{SigmaSq: -5},
+		{SigmaSq: 100, TreeAlg: "bogus"},
+		{SigmaSq: 100, T: 2_000_000_000},
+		{SigmaSq: 100, NumVectors: 2_000_000_000},
+	} {
+		if err := bad.Canon(); err == nil {
+			t.Errorf("Canon(%+v): want error", bad)
+		}
+	}
+}
+
+func TestCacheExactHit(t *testing.T) {
+	c := NewResultCache(4)
+	p := params(100)
+	if _, out := c.Get("h1", p); out != CacheMiss {
+		t.Fatalf("empty cache: outcome %v", out)
+	}
+	c.Put("h1", p, result(80))
+	res, out := c.Get("h1", p)
+	if out != CacheExact || res.SigmaSqAchieved != 80 {
+		t.Fatalf("Get = %v, %v; want exact hit", res, out)
+	}
+	// Different graph hash misses.
+	if _, out := c.Get("h2", p); out != CacheMiss {
+		t.Errorf("cross-graph lookup: outcome %v", out)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheCoarserHit(t *testing.T) {
+	c := NewResultCache(8)
+	// A σ²=50 sparsifier (achieved 40) certifies any σ² ≥ 50 request.
+	c.Put("h", params(50), result(40))
+
+	res, out := c.Get("h", params(200))
+	if out != CacheCoarser || res.SigmaSqAchieved != 40 {
+		t.Fatalf("coarser lookup = %v, %v; want coarser hit", res, out)
+	}
+	// A tighter request must NOT reuse a looser sparsifier.
+	if _, out := c.Get("h", params(10)); out != CacheMiss {
+		t.Errorf("tighter request reused looser result: outcome %v", out)
+	}
+	// Among multiple qualifying entries, prefer the sparsest (largest σ²
+	// at or below the request).
+	c.Put("h", params(100), result(90))
+	res, out = c.Get("h", params(300))
+	if out != CacheCoarser || res.SigmaSqAchieved != 90 {
+		t.Errorf("best coarser = %v, %v; want the σ²=100 entry", res, out)
+	}
+	// Different knobs (t) are a different family: no coarser reuse.
+	p := SparsifyParams{SigmaSq: 200, T: 3}
+	if err := p.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if _, out := c.Get("h", p); out != CacheMiss {
+		t.Errorf("cross-family coarser reuse: outcome %v", out)
+	}
+	// A coarser hit is memoized under the exact key: repeating the same
+	// request upgrades to an exact hit.
+	if _, out := c.Get("h", params(300)); out != CacheExact {
+		t.Errorf("repeated coarser request not memoized: outcome %v", out)
+	}
+}
+
+func TestCacheCoarserRespectsAchieved(t *testing.T) {
+	c := NewResultCache(4)
+	// Entry built for σ²=50 but only achieved 120 (ErrNoTarget path):
+	// it cannot certify a σ²=100 request.
+	c.Put("h", params(50), &JobResult{SigmaSqAchieved: 120})
+	if _, out := c.Get("h", params(100)); out != CacheMiss {
+		t.Errorf("unmet-target entry reused: outcome %v", out)
+	}
+	res, out := c.Get("h", params(150))
+	if out != CacheCoarser {
+		t.Errorf("σ²=150 should qualify (achieved 120): outcome %v", out)
+	}
+	// The served copy is re-judged against THIS request's target: the
+	// stored result missed σ²=50 but satisfies σ²=150.
+	if !res.TargetMet {
+		t.Error("coarser hit kept the original request's TargetMet=false")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Distinct graph hashes so family-level coarser matching cannot mask
+	// the eviction under test.
+	c := NewResultCache(2)
+	c.Put("h1", params(10), result(5))
+	c.Put("h2", params(20), result(15))
+	// Touch h1 so h2 is the LRU victim.
+	if _, out := c.Get("h1", params(10)); out != CacheExact {
+		t.Fatal("expected hit")
+	}
+	c.Put("h3", params(30), result(25))
+	if _, out := c.Get("h2", params(20)); out != CacheMiss {
+		t.Errorf("LRU entry survived eviction: outcome %v", out)
+	}
+	if _, out := c.Get("h1", params(10)); out != CacheExact {
+		t.Errorf("recently used entry evicted: outcome %v", out)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewResultCache(0)
+	c.Put("h", params(10), result(5))
+	if _, out := c.Get("h", params(10)); out != CacheMiss {
+		t.Errorf("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("disabled cache stored entries: %d", c.Len())
+	}
+}
+
+func TestCacheFamilyCleanupAfterEviction(t *testing.T) {
+	// Evicting the last member of a family must not leak the family map
+	// or corrupt later coarser lookups.
+	c := NewResultCache(1)
+	c.Put("h", params(50), result(40))
+	c.Put("h2", params(50), result(40)) // evicts the first
+	if _, out := c.Get("h", params(100)); out != CacheMiss {
+		t.Errorf("evicted family still serving: outcome %v", out)
+	}
+	if _, out := c.Get("h2", params(100)); out != CacheCoarser {
+		t.Errorf("surviving entry lost: outcome %v", out)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewResultCache(16)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				h := fmt.Sprintf("h%d", j%4)
+				c.Put(h, params(float64(10+j%8*10)), result(5))
+				c.Get(h, params(float64(10+(j+1)%8*10)))
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Len() > 16 {
+		t.Errorf("cache over capacity: %d", c.Len())
+	}
+}

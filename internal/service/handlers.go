@@ -1,0 +1,447 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"graphspar/internal/cli"
+	"graphspar/internal/graph"
+	"graphspar/internal/mm"
+)
+
+// maxUploadBytes bounds MatrixMarket uploads (64 MiB).
+const maxUploadBytes = 64 << 20
+
+// Config sizes the server's components. Zero values take the defaults;
+// pass a negative value to disable the backlog or the cache outright.
+type Config struct {
+	Workers    int // concurrent sparsifications (default 4)
+	Backlog    int // queued jobs beyond the running ones (default 64; negative = none)
+	CacheSize  int // LRU result-cache capacity (default 128; negative disables)
+	RetainJobs int // terminal jobs kept for polling (default 512; negative = unbounded)
+	// Sparsify overrides the job runner; nil means RunSparsify. Tests use
+	// this to observe or stub the expensive call.
+	Sparsify SparsifyFunc
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	switch {
+	case c.Backlog == 0:
+		c.Backlog = 64
+	case c.Backlog < 0:
+		c.Backlog = 0
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 128
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	switch {
+	case c.RetainJobs == 0:
+		c.RetainJobs = defaultRetainJobs
+	case c.RetainJobs < 0:
+		c.RetainJobs = 0 // pruneLocked treats 0 as unbounded
+	}
+}
+
+// Server ties the registry, queue and cache together behind an HTTP API.
+type Server struct {
+	registry *Registry
+	cache    *ResultCache
+	queue    *Queue
+}
+
+// NewServer builds a ready-to-serve sparsifyd instance.
+func NewServer(cfg Config) *Server {
+	cfg.defaults()
+	cache := NewResultCache(cfg.CacheSize)
+	queue := NewQueue(cfg.Workers, cfg.Backlog, cache, cfg.Sparsify)
+	queue.SetRetain(cfg.RetainJobs)
+	return &Server{
+		registry: NewRegistry(),
+		cache:    cache,
+		queue:    queue,
+	}
+}
+
+// Registry exposes the graph store (for CLI-side preloading).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Queue exposes the job queue (for shutdown wiring).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Handler returns the routed HTTP API:
+//
+//	POST   /v1/graphs                {name, spec, seed}   register from generator spec or .mtx path
+//	PUT    /v1/graphs/{name}         body = MatrixMarket  register from upload
+//	GET    /v1/graphs                                     list
+//	GET    /v1/graphs/{name}                              metadata
+//	GET    /v1/graphs/{name}/laplacian.mtx                Laplacian download
+//	DELETE /v1/graphs/{name}                              remove
+//	POST   /v1/jobs                  {graph, sigma2, ...} submit (cache-aware)
+//	GET    /v1/jobs                                       list
+//	GET    /v1/jobs/{id}                                  poll status + report
+//	GET    /v1/jobs/{id}/sparsifier.mtx                   result Laplacian
+//	GET    /v1/jobs/{id}/edges.mtx                        result adjacency edge list
+//	GET    /v1/jobs/{id}/edges                            result edge list as JSON
+//	GET    /v1/healthz                                    liveness + stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterSpec)
+	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleUpload)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("GET /v1/graphs/{name}/laplacian.mtx", s.handleGraphLaplacian)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/sparsifier.mtx", s.handleJobSparsifier)
+	mux.HandleFunc("GET /v1/jobs/{id}/edges.mtx", s.handleJobEdgesMtx)
+	mux.HandleFunc("GET /v1/jobs/{id}/edges", s.handleJobEdgesJSON)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+// ---------------------------------------------------------------- helpers
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// errStatus maps service errors to HTTP codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrGraphNotFound), errors.Is(err, ErrJobNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrGraphExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrJobUnfinished):
+		return http.StatusConflict
+	case errors.Is(err, ErrBadGraphName), errors.Is(err, cli.ErrSpec),
+		errors.Is(err, mm.ErrFormat), errors.Is(err, mm.ErrUnsupported):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+type graphInfo struct {
+	Name      string `json:"name"`
+	Hash      string `json:"hash"`
+	Source    string `json:"source"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	CreatedAt string `json:"created_at"`
+}
+
+func toGraphInfo(e *GraphEntry) graphInfo {
+	return graphInfo{
+		Name:      e.Name,
+		Hash:      e.Hash,
+		Source:    e.Source,
+		N:         e.N,
+		M:         e.M,
+		CreatedAt: e.CreatedAt.Format("2006-01-02T15:04:05Z"),
+	}
+}
+
+// ----------------------------------------------------------------- graphs
+
+type registerRequest struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// maxSpecWork bounds the generation cost a remote client may request:
+// the product of the spec's size parameters roughly tracks both vertex
+// count (grid dims multiply) and generation work (N·K style generators),
+// and it is computable without running the generator.
+const maxSpecWork = 50_000_000
+
+// checkSpecBudget rejects generator specs whose size parameters multiply
+// past maxSpecWork, before any allocation happens. Parameters ≤ 1
+// (probabilities such as ws beta or coauth closure) don't contribute.
+func checkSpecBudget(spec string) error {
+	work := 1.0
+	_, rest, _ := strings.Cut(spec, ":")
+	for _, part := range strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ':' || r == 'x' || r == ','
+	}) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			continue // weight-mode words etc.; LoadGraph validates properly
+		}
+		if v > 1 {
+			work *= v
+		}
+		if work > maxSpecWork {
+			return fmt.Errorf("spec %q exceeds the size budget (~%d units); generate it offline and upload instead", spec, maxSpecWork)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleRegisterSpec(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if req.Spec == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("spec is required"))
+		return
+	}
+	// Only generator specs are allowed over HTTP: a file path here would
+	// make the server open arbitrary local files on behalf of remote
+	// clients. Uploads are the way to bring graph files in; -preload
+	// covers operator-side file loading.
+	if strings.HasSuffix(req.Spec, ".mtx") || strings.ContainsAny(req.Spec, `/\`) {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("file specs are not accepted over HTTP; upload the MatrixMarket file with PUT /v1/graphs/{name}"))
+		return
+	}
+	if err := checkSpecBudget(req.Spec); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	g, err := cli.LoadGraph(req.Spec, seed)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	if err := g.RequireConnected(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	entry, err := s.registry.Register(req.Name, req.Spec, g)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toGraphInfo(entry))
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, err := mm.Read(io.LimitReader(r.Body, maxUploadBytes))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	// A connected graph on n vertices needs at least n-1 entries, so a
+	// header declaring huge dimensions over a small entry list cannot be
+	// usable — reject before the O(n) allocations in the connectivity
+	// check can act on the hostile dimension.
+	if m.Rows > len(m.Entries)+1 {
+		writeErr(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("matrix declares %d vertices but only %d entries; it cannot be connected", m.Rows, len(m.Entries)))
+		return
+	}
+	g, err := m.ToGraph()
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	if err := g.RequireConnected(); err != nil {
+		// Sparsification requires connectivity; reject early with a
+		// semantic (not syntactic) error code.
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	entry, err := s.registry.Register(name, "upload", g)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toGraphInfo(entry))
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.registry.List()
+	out := make([]graphInfo, len(entries))
+	for i, e := range entries {
+		out[i] = toGraphInfo(e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.registry.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toGraphInfo(entry))
+}
+
+func (s *Server) handleGraphLaplacian(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.registry.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	serveMtx(w, entry.Name+".mtx", entry.Graph, mm.WriteGraph)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.registry.Delete(r.PathValue("name")); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func serveMtx(w http.ResponseWriter, filename string, g *graph.Graph, write func(io.Writer, *graph.Graph) error) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+filename+`"`)
+	if err := write(w, g); err != nil {
+		// Headers are gone; the best we can do is drop the connection.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// ------------------------------------------------------------------- jobs
+
+type submitRequest struct {
+	Graph string `json:"graph"`
+	SparsifyParams
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if req.Graph == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("graph is required"))
+		return
+	}
+	if err := req.SparsifyParams.Canon(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, err := s.registry.Get(req.Graph)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	job, err := s.queue.Submit(entry, req.SparsifyParams)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Status == StatusDone {
+		code = http.StatusOK // served from cache
+	}
+	writeJSON(w, code, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// finishedSparsifier fetches a job's result graph or the right error.
+func (s *Server) finishedSparsifier(id string) (*graph.Graph, Job, error) {
+	job, err := s.queue.Get(id)
+	if err != nil {
+		return nil, Job{}, err
+	}
+	if job.Status != StatusDone || job.Result == nil || job.Result.Sparsifier == nil {
+		return nil, job, fmt.Errorf("%w: %s is %s", ErrJobUnfinished, id, job.Status)
+	}
+	return job.Result.Sparsifier, job, nil
+}
+
+func (s *Server) handleJobSparsifier(w http.ResponseWriter, r *http.Request) {
+	g, job, err := s.finishedSparsifier(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	serveMtx(w, job.ID+"-sparsifier.mtx", g, mm.WriteGraph)
+}
+
+func (s *Server) handleJobEdgesMtx(w http.ResponseWriter, r *http.Request) {
+	g, job, err := s.finishedSparsifier(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	serveMtx(w, job.ID+"-edges.mtx", g, mm.WriteEdgeList)
+}
+
+type edgeJSON struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w"`
+}
+
+func (s *Server) handleJobEdgesJSON(w http.ResponseWriter, r *http.Request) {
+	g, _, err := s.finishedSparsifier(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	edges := make([]edgeJSON, g.M())
+	for i, e := range g.Edges() {
+		edges[i] = edgeJSON{U: e.U, V: e.V, W: e.W}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		N     int        `json:"n"`
+		M     int        `json:"m"`
+		Edges []edgeJSON `json:"edges"`
+	}{g.N(), g.M(), edges})
+}
+
+// ----------------------------------------------------------------- health
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string     `json:"status"`
+		Graphs int        `json:"graphs"`
+		Queued int        `json:"queued"`
+		Cache  CacheStats `json:"cache"`
+	}{"ok", s.registry.Len(), s.queue.Depth(), s.cache.Stats()})
+}

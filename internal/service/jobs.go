@@ -1,0 +1,394 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/core"
+	"graphspar/internal/graph"
+	"graphspar/internal/lsst"
+)
+
+// Queue errors, mapped to HTTP status codes by the handlers.
+var (
+	ErrQueueFull     = errors.New("service: job queue is full")
+	ErrQueueClosed   = errors.New("service: job queue is shut down")
+	ErrJobNotFound   = errors.New("service: job not found")
+	ErrJobUnfinished = errors.New("service: job has not finished")
+)
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+// Job lifecycle states. Terminal states are Done, Failed and Canceled.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// JobResult summarizes a completed sparsification plus its independent
+// similarity verification (core.VerifySimilarity). The Sparsifier graph
+// is retained for edge-list and MatrixMarket downloads.
+type JobResult struct {
+	EdgesKept       int     `json:"edges_kept"`
+	EdgesInput      int     `json:"edges_input"`
+	Density         float64 `json:"density"` // |E_P| / |V|
+	Reduction       float64 `json:"edge_reduction"`
+	SigmaSqAchieved float64 `json:"sigma2_achieved"`
+	TargetMet       bool    `json:"target_met"`
+	Rounds          int     `json:"rounds"`
+	TotalStretch    float64 `json:"total_stretch"`
+	Connected       bool    `json:"connected"`
+	// Verified* come from the k-step generalized Lanczos check, an
+	// estimate independent of the sparsifier's own tracking.
+	VerifiedLambdaMax float64 `json:"verified_lambda_max"`
+	VerifiedLambdaMin float64 `json:"verified_lambda_min"`
+	VerifiedCond      float64 `json:"verified_condition_number"`
+
+	Sparsifier *graph.Graph `json:"-"`
+}
+
+// Job is one sparsification request moving through the queue. Fields are
+// guarded by the owning Queue's mutex; Snapshot returns a consistent copy.
+type Job struct {
+	ID         string         `json:"id"`
+	GraphName  string         `json:"graph"`
+	GraphHash  string         `json:"graph_hash"`
+	Params     SparsifyParams `json:"params"`
+	Status     JobStatus      `json:"status"`
+	CacheHit   CacheOutcome   `json:"cache,omitempty"` // exact | coarser, when served from cache
+	Error      string         `json:"error,omitempty"`
+	Submitted  time.Time      `json:"submitted_at"`
+	Started    time.Time      `json:"started_at,omitzero"`
+	Finished   time.Time      `json:"finished_at,omitzero"`
+	Result     *JobResult     `json:"result,omitempty"`
+	graphEntry *GraphEntry
+}
+
+// SparsifyFunc runs one sparsification; the default is RunSparsify.
+// Injectable so tests can count or stub the expensive call.
+type SparsifyFunc func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error)
+
+// defaultRetainJobs bounds how many terminal jobs the queue remembers
+// (the daemon would otherwise leak one sparsifier graph per job ever
+// submitted).
+const defaultRetainJobs = 512
+
+// Queue runs jobs through a bounded worker pool: at most `workers`
+// sparsifications run concurrently and at most `backlog` jobs wait;
+// Submit fails fast with ErrQueueFull beyond that, so the HTTP layer can
+// shed load with 503 instead of stacking goroutines. Terminal jobs are
+// pruned oldest-first beyond the retain bound, so a long-running daemon
+// holds a bounded number of results (plus whatever the cache pins).
+type Queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order, for listing and pruning
+	seq     int
+	retain  int
+	pending chan *Job
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	closed  bool
+
+	cache    *ResultCache
+	sparsify SparsifyFunc
+}
+
+// NewQueue starts a queue with the given concurrency and backlog bounds.
+// A nil sparsify falls back to RunSparsify; cache may be nil to disable
+// memoization.
+func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc) *Queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	if sparsify == nil {
+		sparsify = RunSparsify
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		jobs:     make(map[string]*Job),
+		retain:   defaultRetainJobs,
+		pending:  make(chan *Job, backlog),
+		ctx:      ctx,
+		cancel:   cancel,
+		cache:    cache,
+		sparsify: sparsify,
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit registers a job for the graph entry and either serves it
+// instantly from the result cache or enqueues it. The returned snapshot
+// reflects the state at submission (already Done on a cache hit).
+func (q *Queue) Submit(entry *GraphEntry, p SparsifyParams) (Job, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, ErrQueueClosed
+	}
+	q.seq++
+	job := &Job{
+		ID:         fmt.Sprintf("job-%d", q.seq),
+		GraphName:  entry.Name,
+		GraphHash:  entry.Hash,
+		Params:     p,
+		Status:     StatusQueued,
+		Submitted:  time.Now().UTC(),
+		graphEntry: entry,
+	}
+
+	// Memoized path: completed result for the same (graph, params) — or a
+	// tighter-σ² result that still certifies this target — short-circuits
+	// the queue entirely.
+	if q.cache != nil {
+		if res, outcome := q.cache.Get(entry.Hash, p); outcome != CacheMiss {
+			now := time.Now().UTC()
+			job.Status = StatusDone
+			job.CacheHit = outcome
+			job.Result = res
+			job.Started, job.Finished = now, now
+			q.jobs[job.ID] = job
+			q.order = append(q.order, job.ID)
+			q.pruneLocked()
+			snap := *job
+			q.mu.Unlock()
+			return snap, nil
+		}
+	}
+
+	select {
+	case q.pending <- job:
+	default:
+		q.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	q.jobs[job.ID] = job
+	q.order = append(q.order, job.ID)
+	snap := *job
+	q.mu.Unlock()
+	return snap, nil
+}
+
+// worker drains the pending channel until shutdown.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.ctx.Done():
+			// Drain what we can mark canceled; channel may still hold jobs.
+			for {
+				select {
+				case job := <-q.pending:
+					q.finish(job, nil, context.Canceled)
+				default:
+					return
+				}
+			}
+		case job := <-q.pending:
+			q.run(job)
+		}
+	}
+}
+
+// run executes one job, threading the queue's context into the runner so
+// shutdown cancels queued and in-flight work.
+func (q *Queue) run(job *Job) {
+	q.mu.Lock()
+	if q.ctx.Err() != nil {
+		q.mu.Unlock()
+		q.finish(job, nil, context.Canceled)
+		return
+	}
+	job.Status = StatusRunning
+	job.Started = time.Now().UTC()
+	entry, p := job.graphEntry, job.Params
+	q.mu.Unlock()
+
+	res, err := q.sparsify(q.ctx, entry.Graph, p)
+	q.finish(job, res, err)
+	if err == nil && q.cache != nil {
+		q.cache.Put(entry.Hash, p, res)
+	}
+}
+
+// finish moves a job to its terminal state and prunes old terminal jobs
+// beyond the retain bound.
+func (q *Queue) finish(job *Job, res *JobResult, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job.Finished = time.Now().UTC()
+	switch {
+	case errors.Is(err, context.Canceled):
+		job.Status = StatusCanceled
+		job.Error = "canceled by shutdown"
+	case err != nil:
+		job.Status = StatusFailed
+		job.Error = err.Error()
+	default:
+		job.Status = StatusDone
+		job.Result = res
+	}
+	q.pruneLocked()
+}
+
+// pruneLocked drops the oldest terminal jobs while more than retain jobs
+// are tracked. Queued/running jobs are never dropped, so the map can
+// transiently exceed the bound under a huge in-flight load.
+func (q *Queue) pruneLocked() {
+	if q.retain <= 0 || len(q.jobs) <= q.retain {
+		return
+	}
+	kept := q.order[:0]
+	excess := len(q.jobs) - q.retain
+	for _, id := range q.order {
+		j := q.jobs[id]
+		terminal := j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusCanceled
+		if excess > 0 && terminal {
+			delete(q.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+}
+
+// Get snapshots a job by id.
+func (q *Queue) Get(id string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return *job, nil
+}
+
+// List snapshots all jobs in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Depth reports how many jobs are waiting in the backlog.
+func (q *Queue) Depth() int { return len(q.pending) }
+
+// SetRetain changes how many terminal jobs the queue remembers
+// (0 = unbounded). Takes effect on the next job completion.
+func (q *Queue) SetRetain(n int) {
+	q.mu.Lock()
+	q.retain = n
+	q.mu.Unlock()
+}
+
+// Shutdown cancels the queue context (canceling queued jobs and
+// signaling in-flight runners) and waits for workers to exit or the
+// given context to expire.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cancel()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RunSparsify is the production SparsifyFunc: it maps the wire params to
+// core.Options, runs the similarity-aware pipeline, and independently
+// verifies the result with a generalized Lanczos estimate. The context
+// is checked between the expensive stages; core.Sparsify itself is not
+// interruptible, so cancellation takes effect at stage boundaries.
+func RunSparsify(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	alg, err := lsst.Parse(p.TreeAlg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Sparsify(g, core.Options{
+		SigmaSq:    p.SigmaSq,
+		T:          p.T,
+		NumVectors: p.NumVectors,
+		TreeAlg:    alg,
+		Seed:       p.Seed,
+		MaxEdges:   p.MaxEdges,
+	})
+	targetMet := err == nil
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &JobResult{
+		EdgesKept:       res.Sparsifier.M(),
+		EdgesInput:      g.M(),
+		Density:         res.Density(),
+		Reduction:       float64(g.M()) / float64(res.Sparsifier.M()),
+		SigmaSqAchieved: res.SigmaSqAchieved,
+		TargetMet:       targetMet,
+		Rounds:          len(res.Rounds),
+		TotalStretch:    res.TotalStretch,
+		Connected:       res.Sparsifier.IsConnected(),
+		Sparsifier:      res.Sparsifier,
+	}
+
+	// Independent check: κ(L_G, L_P) by generalized Lanczos with an exact
+	// factorization of the sparsifier.
+	solver, err := cholesky.NewLapSolver(res.Sparsifier)
+	if err != nil {
+		return nil, fmt.Errorf("verification solver: %w", err)
+	}
+	k := lanczosSteps(g.N())
+	lmax, lmin, cond, err := core.VerifySimilarity(g, res.Sparsifier, solver, k, p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("similarity verification: %w", err)
+	}
+	out.VerifiedLambdaMax, out.VerifiedLambdaMin, out.VerifiedCond = lmax, lmin, cond
+	return out, nil
+}
+
+// lanczosSteps picks the verification depth: enough steps for the Ritz
+// extremes to settle without dominating the job runtime.
+func lanczosSteps(n int) int {
+	k := 30
+	if n < k {
+		k = n
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}

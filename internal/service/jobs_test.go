@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphspar/internal/graph"
+)
+
+func testEntry(t *testing.T) *GraphEntry {
+	t.Helper()
+	r := NewRegistry()
+	e, err := r.Register("g", "test", testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, q *Queue, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, err := q.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch job.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			return job
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Job{}
+}
+
+func TestQueueRunsJobs(t *testing.T) {
+	entry := testEntry(t)
+	var calls atomic.Int64
+	q := NewQueue(2, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		calls.Add(1)
+		return &JobResult{SigmaSqAchieved: p.SigmaSq / 2, Sparsifier: g}, nil
+	})
+	defer q.Shutdown(context.Background())
+
+	job, err := q.Submit(entry, params(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != StatusQueued {
+		t.Errorf("submit status = %s", job.Status)
+	}
+	done := waitJob(t, q, job.ID)
+	if done.Result == nil || done.Result.SigmaSqAchieved != 50 {
+		t.Errorf("result = %+v", done.Result)
+	}
+	if done.Started.IsZero() || done.Finished.IsZero() {
+		t.Error("timestamps not set")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("runner calls = %d", calls.Load())
+	}
+}
+
+func TestQueueBoundedConcurrencyAndBacklog(t *testing.T) {
+	entry := testEntry(t)
+	const workers = 2
+	var running, peak atomic.Int64
+	block := make(chan struct{})
+	q := NewQueue(workers, 1, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		cur := running.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		<-block
+		running.Add(-1)
+		return &JobResult{}, nil
+	})
+	defer q.Shutdown(context.Background())
+
+	// Occupy both workers, waiting for each pickup so the backlog channel
+	// is empty before the next submit (Submit fails fast on a full
+	// channel, so racing it against worker pickup would flake).
+	var ids []string
+	for i := 0; i < workers; i++ {
+		job, err := q.Submit(entry, params(float64(10+i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, job.ID)
+		deadline := time.Now().Add(5 * time.Second)
+		for running.Load() != int64(i+1) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if running.Load() != int64(i+1) {
+			t.Fatalf("running = %d, want %d", running.Load(), i+1)
+		}
+	}
+	// Fill the single backlog slot.
+	job, err := q.Submit(entry, params(99))
+	if err != nil {
+		t.Fatalf("backlog submit: %v", err)
+	}
+	ids = append(ids, job.ID)
+
+	// Now workers and backlog are saturated: the next submit must shed.
+	if _, err := q.Submit(entry, params(100)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("saturated submit: err = %v, want ErrQueueFull", err)
+	}
+
+	close(block)
+	for _, id := range ids {
+		if job := waitJob(t, q, id); job.Status != StatusDone {
+			t.Errorf("job %s = %s", id, job.Status)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestQueueCacheShortCircuit(t *testing.T) {
+	entry := testEntry(t)
+	cache := NewResultCache(4)
+	var calls atomic.Int64
+	q := NewQueue(1, 4, cache, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		calls.Add(1)
+		return &JobResult{SigmaSqAchieved: p.SigmaSq * 0.8, Sparsifier: g}, nil
+	})
+	defer q.Shutdown(context.Background())
+
+	first, err := q.Submit(entry, params(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, q, first.ID)
+
+	// Identical resubmission: served instantly, runner not called again.
+	second, err := q.Submit(entry, params(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != StatusDone || second.CacheHit != CacheExact {
+		t.Errorf("resubmit = status %s cache %q, want done/exact", second.Status, second.CacheHit)
+	}
+	// Coarser target: also served from cache.
+	third, err := q.Submit(entry, params(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Status != StatusDone || third.CacheHit != CacheCoarser {
+		t.Errorf("coarser submit = status %s cache %q, want done/coarser", third.Status, third.CacheHit)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("runner calls = %d, want 1", calls.Load())
+	}
+}
+
+func TestQueueFailedJob(t *testing.T) {
+	entry := testEntry(t)
+	boom := errors.New("boom")
+	q := NewQueue(1, 4, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		return nil, boom
+	})
+	defer q.Shutdown(context.Background())
+
+	job, err := q.Submit(entry, params(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, q, job.ID)
+	if done.Status != StatusFailed || done.Error != "boom" {
+		t.Errorf("job = %s %q", done.Status, done.Error)
+	}
+}
+
+func TestQueueShutdownCancelsPending(t *testing.T) {
+	entry := testEntry(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return &JobResult{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+
+	blocker, err := q.Submit(entry, params(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := q.Submit(entry, params(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(release)
+
+	if job, _ := q.Get(blocker.ID); job.Status != StatusCanceled {
+		t.Errorf("in-flight job = %s, want canceled (ctx threaded into runner)", job.Status)
+	}
+	if job, _ := q.Get(queued.ID); job.Status != StatusCanceled {
+		t.Errorf("queued job = %s, want canceled", job.Status)
+	}
+	// Submits after shutdown are refused.
+	if _, err := q.Submit(entry, params(30)); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("post-shutdown submit: err = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestQueueRetentionPrunesTerminalJobs(t *testing.T) {
+	entry := testEntry(t)
+	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		return &JobResult{}, nil
+	})
+	defer q.Shutdown(context.Background())
+	q.SetRetain(3)
+
+	var last string
+	for i := 0; i < 10; i++ {
+		job, err := q.Submit(entry, params(float64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = job.ID
+		waitJob(t, q, job.ID)
+	}
+	if n := len(q.List()); n != 3 {
+		t.Errorf("retained %d jobs, want 3", n)
+	}
+	// The most recent job survives pruning; the oldest are gone.
+	if _, err := q.Get(last); err != nil {
+		t.Errorf("latest job pruned: %v", err)
+	}
+	if _, err := q.Get("job-1"); !errors.Is(err, ErrJobNotFound) {
+		t.Errorf("oldest job kept: err = %v", err)
+	}
+}
+
+func TestRunSparsifyEndToEnd(t *testing.T) {
+	// The production runner on a real (small) graph: target met, result
+	// connected, independent verification within the target.
+	entry := testEntry(t)
+	p := params(50)
+	res, err := RunSparsify(context.Background(), entry.Graph, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Connected {
+		t.Error("sparsifier disconnected")
+	}
+	if !res.TargetMet || res.SigmaSqAchieved > 50 {
+		t.Errorf("target: met=%v achieved=%v", res.TargetMet, res.SigmaSqAchieved)
+	}
+	if res.VerifiedCond <= 0 || res.VerifiedCond > 50 {
+		t.Errorf("verified condition number %v outside (0, 50]", res.VerifiedCond)
+	}
+	if res.EdgesKept != res.Sparsifier.M() || res.EdgesInput != entry.M {
+		t.Errorf("edge counts: %+v", res)
+	}
+	// Canceled context short-circuits.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSparsify(ctx, entry.Graph, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v", err)
+	}
+}
