@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		spec    = flag.String("graph", "", cli.SpecHelp)
-		method  = flag.String("method", "iterative", "direct | iterative | sparsifier-only")
+		method  = flag.String("method", "iterative", "direct | iterative | sparsifier-only | bfs")
 		sigmaSq = flag.Float64("sigma2", 200, "sparsifier similarity target (iterative methods)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		check   = flag.Bool("check", false, "also run the direct method and report the sign disagreement")
@@ -72,16 +72,7 @@ func main() {
 }
 
 func parseMethod(s string) (partition.Method, error) {
-	switch s {
-	case "direct":
-		return partition.Direct, nil
-	case "iterative":
-		return partition.Iterative, nil
-	case "sparsifier-only":
-		return partition.SparsifierOnly, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
-	}
+	return partition.ParseMethod(s)
 }
 
 func memStr(b uint64) string {

@@ -5,9 +5,11 @@
 //
 //	sparsify -graph grid:300x300:uniform -sigma2 100 [-out sparsifier.mtx]
 //	sparsify -graph problem.mtx -sigma2 50 -tree akpw -t 2
+//	sparsify -graph grid:512x512:uniform -sigma2 100 -shards 8 -workers 4
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -16,19 +18,26 @@ import (
 
 	"graphspar/internal/cli"
 	"graphspar/internal/core"
+	"graphspar/internal/engine"
+	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
+	"graphspar/internal/partition"
 )
 
 func main() {
 	var (
-		spec    = flag.String("graph", "", cli.SpecHelp)
-		sigmaSq = flag.Float64("sigma2", 100, "target spectral similarity σ² (relative condition number bound)")
-		out     = flag.String("out", "", "optional output .mtx path for the sparsifier Laplacian")
-		treeAlg = flag.String("tree", "maxweight", "backbone tree: maxweight | dijkstra | akpw")
-		tSteps  = flag.Int("t", 2, "generalized power iteration steps for edge embedding")
-		rVecs   = flag.Int("r", 0, "random probe vectors (0 = O(log n))")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		verbose = flag.Bool("v", false, "print per-round densification stats")
+		spec      = flag.String("graph", "", cli.SpecHelp)
+		sigmaSq   = flag.Float64("sigma2", 100, "target spectral similarity σ² (relative condition number bound)")
+		out       = flag.String("out", "", "optional output .mtx path for the sparsifier Laplacian")
+		treeAlg   = flag.String("tree", "maxweight", "backbone tree: maxweight | dijkstra | akpw")
+		tSteps    = flag.Int("t", 2, "generalized power iteration steps for edge embedding")
+		rVecs     = flag.Int("r", 0, "random probe vectors (0 = O(log n))")
+		shards    = flag.Int("shards", 1, "k-way shards for the parallel engine (1 = single-shot)")
+		workers   = flag.Int("workers", 0, "concurrent shard sparsifications (0 = all cores)")
+		partAlg   = flag.String("partition", "bfs", "engine bisector: bfs | direct | iterative | sparsifier-only")
+		embedWork = flag.Int("embed-workers", 0, "goroutines for the probe-vector solves (0 = sequential; any value is bit-identical)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		verbose   = flag.Bool("v", false, "print per-round densification stats (per shard in sharded mode)")
 	)
 	flag.Parse()
 
@@ -42,11 +51,17 @@ func main() {
 	}
 	fmt.Printf("input: |V|=%d |E|=%d\n", g.N(), g.M())
 
-	t0 := time.Now()
-	res, err := core.Sparsify(g, core.Options{
+	opts := core.Options{
 		SigmaSq: *sigmaSq, T: *tSteps, NumVectors: *rVecs,
-		TreeAlg: alg, Seed: *seed,
-	})
+		TreeAlg: alg, Seed: *seed, EmbedWorkers: *embedWork,
+	}
+	if *shards > 1 {
+		runSharded(g, opts, *shards, *workers, *partAlg, *seed, *verbose, *out)
+		return
+	}
+
+	t0 := time.Now()
+	res, err := core.Sparsify(g, opts)
 	if err != nil && !errors.Is(err, core.ErrNoTarget) {
 		fatal(err)
 	}
@@ -62,18 +77,65 @@ func main() {
 		fmt.Println("warning: similarity target not reached within round budget")
 	}
 	if *verbose {
-		fmt.Println("round  λmax     λmin   σ²est   θσ         cand  added  |Es|")
-		for _, r := range res.Rounds {
-			fmt.Printf("%5d  %7.2f  %5.3f  %6.1f  %9.3e  %4d  %5d  %d\n",
-				r.Round, r.LambdaMax, r.LambdaMin, r.SigmaSqEst, r.Threshold, r.Candidates, r.Added, r.EdgesTotal)
+		printRounds(res.Rounds)
+	}
+	save(*out, res.Sparsifier)
+}
+
+// runSharded drives the shard-parallel engine and reports its phases.
+func runSharded(g *graph.Graph, opts core.Options, shards, workers int, partAlg string, seed uint64, verbose bool, out string) {
+	method, err := partition.ParseMethod(partAlg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := engine.Run(context.Background(), g, engine.Options{
+		Shards:    shards,
+		Workers:   workers,
+		Sparsify:  opts,
+		Partition: &partition.Options{Method: method, SigmaSq: opts.SigmaSq, Seed: seed},
+		Seed:      seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sparsifier: |Es|=%d  density |Es|/|V| = %.3f  (%.1fx edge reduction)\n",
+		res.Sparsifier.M(), res.Density(), float64(g.M())/float64(res.Sparsifier.M()))
+	fmt.Printf("sharding: %d parts (%s bisector), cut=%d edges (%d stitched, %d recovered)\n",
+		res.Parts, method, res.CutEdges, res.StitchedCut, res.RecoveredCut)
+	fmt.Printf("similarity: σ² estimate=%.1f, verified κ=%.1f (target %.1f, met=%v)\n",
+		res.SigmaSqEst, res.VerifiedCond, opts.SigmaSq, res.TargetMet)
+	fmt.Printf("time: %s total  (partition %s, shards %s wall / %s cpu = %.2fx parallel, stitch %s, verify %s)\n",
+		res.WallTime.Round(time.Millisecond),
+		res.PartitionTime.Round(time.Millisecond),
+		res.ShardWall.Round(time.Millisecond), res.ShardCPU.Round(time.Millisecond), res.Speedup(),
+		res.StitchTime.Round(time.Millisecond), res.VerifyTime.Round(time.Millisecond))
+	if verbose {
+		for _, s := range res.Shards {
+			fmt.Printf("shard %d: |V|=%d |E|=%d kept=%d σ²=%.1f met=%v in %s\n",
+				s.Shard, s.Vertices, s.Edges, s.Kept, s.SigmaSqAchieved, s.TargetMet,
+				s.Duration.Round(time.Millisecond))
+			printRounds(s.Rounds)
 		}
 	}
-	if *out != "" {
-		if err := cli.SaveGraph(*out, res.Sparsifier); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *out)
+	save(out, res.Sparsifier)
+}
+
+func printRounds(rounds []core.RoundStats) {
+	fmt.Println("round  λmax     λmin   σ²est   θσ         cand  added  |Es|")
+	for _, r := range rounds {
+		fmt.Printf("%5d  %7.2f  %5.3f  %6.1f  %9.3e  %4d  %5d  %d\n",
+			r.Round, r.LambdaMax, r.LambdaMin, r.SigmaSqEst, r.Threshold, r.Candidates, r.Added, r.EdgesTotal)
 	}
+}
+
+func save(out string, g *graph.Graph) {
+	if out == "" {
+		return
+	}
+	if err := cli.SaveGraph(out, g); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func fatal(err error) {

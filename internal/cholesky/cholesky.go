@@ -40,6 +40,15 @@ type Factor struct {
 // footprint, reported as M_D in the Table 3 reproduction).
 func (f *Factor) NNZ() int { return len(f.val) }
 
+// Session returns a view of the factor that shares the (immutable)
+// numeric factorization but owns a private work buffer, so concurrent
+// goroutines can Solve through separate sessions without copying L.
+func (f *Factor) Session() *Factor {
+	s := *f
+	s.work = nil
+	return &s
+}
+
 // N returns the dimension.
 func (f *Factor) N() int { return f.n }
 
@@ -362,6 +371,21 @@ func NewLapSolver(g *graph.Graph) (*LapSolver, error) {
 		sol:    make([]float64, n-1),
 	}
 	return ls, nil
+}
+
+// Session returns a solver that shares the receiver's factorization but
+// owns private scratch buffers. A LapSolver must not be used by two
+// goroutines at once; give each goroutine its own session instead.
+func (ls *LapSolver) Session() *LapSolver {
+	s := *ls
+	if s.factor != nil {
+		s.factor = s.factor.Session()
+	}
+	if ls.n > 1 {
+		s.rhs = make([]float64, ls.n-1)
+		s.sol = make([]float64, ls.n-1)
+	}
+	return &s
 }
 
 // FactorNNZ returns the number of stored factor entries (0 for n=1).

@@ -3,6 +3,7 @@ package cholesky
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -376,5 +377,48 @@ func BenchmarkLapSolverSolveGrid(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ls.Solve(x, rhs)
+	}
+}
+
+// TestLapSolverSessions: sessions share the factorization but solve
+// independently — concurrent sessions must reproduce the sequential
+// solutions exactly.
+func TestLapSolverSessions(t *testing.T) {
+	g, err := gen.Grid2D(6, 4, gen.UniformWeights, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	rhs := make([][]float64, 8)
+	want := make([][]float64, len(rhs))
+	for k := range rhs {
+		rhs[k] = make([]float64, n)
+		for i := range rhs[k] {
+			rhs[k][i] = float64((i+k)%5) - 2
+		}
+		want[k] = make([]float64, n)
+		ls.Solve(want[k], rhs[k])
+	}
+	var wg sync.WaitGroup
+	got := make([][]float64, len(rhs))
+	for k := range rhs {
+		wg.Add(1)
+		go func(k int, s *LapSolver) {
+			defer wg.Done()
+			got[k] = make([]float64, n)
+			s.Solve(got[k], rhs[k])
+		}(k, ls.Session())
+	}
+	wg.Wait()
+	for k := range rhs {
+		for i := range got[k] {
+			if got[k][i] != want[k][i] {
+				t.Fatalf("session solve %d differs at %d: %v != %v", k, i, got[k][i], want[k][i])
+			}
+		}
 	}
 }

@@ -2,6 +2,7 @@ package cholesky
 
 import (
 	"container/heap"
+	"sort"
 
 	"graphspar/internal/sparse"
 )
@@ -59,6 +60,10 @@ func MinDegree(a *sparse.CSR) []int {
 		for u := range adj[v] {
 			nbrs = append(nbrs, u)
 		}
+		// Map iteration order is randomized; sort so the produced ordering
+		// (and with it every downstream factor rounding) is identical
+		// run-to-run — the whole pipeline promises reproducibility.
+		sort.Ints(nbrs)
 		// Form the elimination clique and detach v.
 		for _, u := range nbrs {
 			delete(adj[u], v)

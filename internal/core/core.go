@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -101,34 +102,53 @@ type Options struct {
 	// is unmet (Result is returned with ErrNoTarget in that case). Zero
 	// means unlimited. Useful for equal-budget baseline comparisons (A5).
 	MaxEdges int
+	// EmbedWorkers caps the goroutines used for the r independent
+	// probe-vector solves of each embedding pass (≤ 1 = sequential).
+	// Results are bit-identical for every worker count, so this is purely
+	// a wall-clock knob; see EmbedOffTreeParallel.
+	EmbedWorkers int
 	// Seed drives every random choice. Default 1.
 	Seed uint64
+}
+
+// EffectiveEmbed reports the embedding knobs Sparsify will actually use
+// on an n-vertex graph — T, NumVectors (r = O(log n) when unset),
+// PowerIters and BatchFraction with defaults applied. The sharding
+// engine's global re-filter pass calls this so its full-size embedding
+// can never drift from the per-shard parameters.
+func (o Options) EffectiveEmbed(n int) (t, r, powerIters int, batchFraction float64) {
+	t = o.T
+	if t <= 0 {
+		t = 2
+	}
+	r = o.NumVectors
+	if r <= 0 {
+		r = int(math.Ceil(math.Log2(float64(n + 1))))
+		if r < 1 {
+			r = 1
+		}
+	}
+	powerIters = o.PowerIters
+	if powerIters <= 0 {
+		powerIters = 10
+	}
+	batchFraction = o.BatchFraction
+	if batchFraction <= 0 || batchFraction > 1 {
+		batchFraction = 0.25
+	}
+	return t, r, powerIters, batchFraction
 }
 
 func (o *Options) defaults(n int) error {
 	if !(o.SigmaSq > 1) {
 		return fmt.Errorf("%w: got %v", ErrBadSigma, o.SigmaSq)
 	}
-	if o.T <= 0 {
-		o.T = 2
-	}
-	if o.NumVectors <= 0 {
-		o.NumVectors = int(math.Ceil(math.Log2(float64(n + 1))))
-		if o.NumVectors < 1 {
-			o.NumVectors = 1
-		}
-	}
+	o.T, o.NumVectors, o.PowerIters, o.BatchFraction = o.EffectiveEmbed(n)
 	if o.MaxRounds <= 0 {
 		o.MaxRounds = 30
 	}
-	if o.BatchFraction <= 0 || o.BatchFraction > 1 {
-		o.BatchFraction = 0.25
-	}
 	if o.SolverTol <= 0 {
 		o.SolverTol = 1e-6
-	}
-	if o.PowerIters <= 0 {
-		o.PowerIters = 10
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -174,13 +194,15 @@ func (r *Result) Density() float64 {
 	return float64(r.Sparsifier.M()) / float64(r.Sparsifier.N())
 }
 
-// lapSolver matches tree.Tree and the iterative adapters.
-type lapSolver interface {
+// Solver applies x = L_P⁺ b (a Laplacian pseudoinverse, or an iterative
+// approximation of one). tree.Tree, cholesky.LapSolver and eig.PCGSolver
+// all satisfy it; internal/engine supplies its own for the stitched graph.
+type Solver interface {
 	Solve(x, b []float64)
 }
 
 // newInnerSolver returns an L_P⁺ applier for the current sparsifier.
-func newInnerSolver(p *graph.Graph, backbone *tree.Tree, kind SolverKind, tol float64) (lapSolver, error) {
+func newInnerSolver(p *graph.Graph, backbone *tree.Tree, kind SolverKind, tol float64) (Solver, error) {
 	switch kind {
 	case Direct:
 		return cholesky.NewLapSolver(p)
@@ -235,7 +257,7 @@ func EstimateLambdaMin(g, p *graph.Graph) float64 {
 
 // EstimateLambdaMax runs generalized power iterations (§3.6.1) for
 // λmax(L_P⁺L_G) with the supplied L_P⁺ applier.
-func EstimateLambdaMax(g, p *graph.Graph, solver lapSolver, iters int, seed uint64) (float64, error) {
+func EstimateLambdaMax(g, p *graph.Graph, solver Solver, iters int, seed uint64) (float64, error) {
 	res, err := eig.GeneralizedPowerMax(g, p, solver, iters, 1e-4, seed)
 	if err != nil {
 		return 0, err
@@ -260,34 +282,11 @@ func Threshold(sigmaSq, lambdaMin, lambdaMax float64, t int) float64 {
 // EmbedOffTree computes the Joule heat of every off-tree edge by r
 // independent t-step generalized power iterations (eq. 6 summed per
 // eq. 12): heat(p,q) = Σ_j w_pq (h_t,j(p) − h_t,j(q))². The returned slice
-// is parallel to offIDs. The second return is heat_max.
-func EmbedOffTree(g *graph.Graph, solver lapSolver, offIDs []int, t, r int, seed uint64) ([]float64, float64) {
-	n := g.N()
-	heats := make([]float64, len(offIDs))
-	rng := vecmath.NewRNG(seed)
-	h := make([]float64, n)
-	y := make([]float64, n)
-	for j := 0; j < r; j++ {
-		rng.FillRademacher(h)
-		vecmath.Deflate(h)
-		for step := 0; step < t; step++ {
-			g.LapMulVec(y, h)  // y = L_G h
-			solver.Solve(h, y) // h = L_P⁺ y
-			vecmath.Deflate(h)
-		}
-		for i, id := range offIDs {
-			e := g.Edge(id)
-			d := h[e.U] - h[e.V]
-			heats[i] += e.W * d * d
-		}
-	}
-	var maxHeat float64
-	for _, v := range heats {
-		if v > maxHeat {
-			maxHeat = v
-		}
-	}
-	return heats, maxHeat
+// is parallel to offIDs. The second return is heat_max. Each probe vector
+// is seeded independently (see probeSeed), so EmbedOffTreeParallel
+// produces bit-identical output with any worker count.
+func EmbedOffTree(g *graph.Graph, solver Solver, offIDs []int, t, r int, seed uint64) ([]float64, float64) {
+	return EmbedOffTreeParallel(g, solver, offIDs, t, r, seed, 1)
 }
 
 // Sparsify runs the full similarity-aware pipeline of §3: backbone
@@ -296,6 +295,14 @@ func EmbedOffTree(g *graph.Graph, solver lapSolver, offIDs []int, t, r int, seed
 // If MaxRounds is exhausted first, the best sparsifier found is returned
 // together with ErrNoTarget.
 func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
+	return SparsifyCtx(context.Background(), g, opt)
+}
+
+// SparsifyCtx is Sparsify with cooperative cancellation: the context is
+// checked before every densification round, and ctx.Err() is returned as
+// soon as it fires, so a canceled job stops computing instead of running
+// its remaining rounds to completion.
+func SparsifyCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if err := g.RequireConnected(); err != nil {
 		return nil, err
 	}
@@ -314,12 +321,15 @@ func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
 	}
 
 	p := backbone.Graph()
-	var solver lapSolver = backbone // exact O(n) while P is the bare tree
+	var solver Solver = backbone // exact O(n) while P is the bare tree
 
 	remaining := append([]int(nil), offIDs...)
 	rng := vecmath.NewRNG(opt.Seed ^ 0x5eed)
 
 	for round := 1; round <= opt.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lmax, err := EstimateLambdaMax(g, p, solver, opt.PowerIters, rng.Uint64())
 		if err != nil {
 			return nil, fmt.Errorf("core: λmax estimation failed in round %d: %w", round, err)
@@ -350,7 +360,7 @@ func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
 		}
 
 		// Embed and filter.
-		heats, maxHeat := EmbedOffTree(g, solver, remaining, opt.T, opt.NumVectors, rng.Uint64())
+		heats, maxHeat := EmbedOffTreeParallel(g, solver, remaining, opt.T, opt.NumVectors, rng.Uint64(), opt.EmbedWorkers)
 		theta := Threshold(opt.SigmaSq, lmin, lmax, opt.T)
 		stats.Threshold = theta
 
@@ -507,7 +517,7 @@ func HeatSpectrum(g *graph.Graph, t, r int, sigmaSqs []float64, treeAlg lsst.Alg
 // VerifySimilarity independently estimates κ(L_G, L_P) with a k-step
 // generalized Lanczos (the "eigs" reference) and reports
 // (λmax, λmin, κ). Used by the harness to check the guarantee.
-func VerifySimilarity(g, p *graph.Graph, solver lapSolver, k int, seed uint64) (lmax, lmin, cond float64, err error) {
+func VerifySimilarity(g, p *graph.Graph, solver Solver, k int, seed uint64) (lmax, lmin, cond float64, err error) {
 	vals, err := eig.GeneralizedLanczos(g, p, solver, k, seed)
 	if err != nil {
 		return 0, 0, 0, err

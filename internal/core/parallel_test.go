@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/gen"
+	"graphspar/internal/lsst"
+)
+
+// TestEmbedParallelBitIdentical: the parallel embedding must reproduce the
+// sequential path bit for bit, for every worker count, with both a tree
+// solver and a Cholesky solver.
+func TestEmbedParallelBitIdentical(t *testing.T) {
+	g, err := gen.Grid2D(14, 14, gen.UniformWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone, _, offIDs, err := lsst.Extract(g, lsst.MaxWeight, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := cholesky.NewLapSolver(backbone.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []Solver{backbone, chol} {
+		want, wantMax := EmbedOffTree(g, solver, offIDs, 2, 6, 42)
+		for workers := 1; workers <= 5; workers++ {
+			got, gotMax := EmbedOffTreeParallel(g, solver, offIDs, 2, 6, 42, workers)
+			if gotMax != wantMax {
+				t.Fatalf("workers=%d solver=%T: maxHeat %v != %v", workers, solver, gotMax, wantMax)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d solver=%T: heat[%d] = %v != %v", workers, solver, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedParallelUnsafeSolverFallsBack: a solver without a concurrent
+// session must still produce identical results (sequential fallback).
+type opaqueSolver struct{ s Solver }
+
+func (o opaqueSolver) Solve(x, b []float64) { o.s.Solve(x, b) }
+
+func TestEmbedParallelUnsafeSolverFallsBack(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, gen.UniformWeights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone, _, offIDs, err := lsst.Extract(g, lsst.MaxWeight, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := EmbedOffTree(g, backbone, offIDs, 1, 4, 7)
+	got, _ := EmbedOffTreeParallel(g, opaqueSolver{backbone}, offIDs, 1, 4, 7, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heat[%d] = %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSparsifyEmbedWorkersBitIdentical: the EmbedWorkers knob must never
+// change which edges the sparsifier keeps.
+func TestSparsifyEmbedWorkersBitIdentical(t *testing.T) {
+	g, err := gen.Grid2D(20, 20, gen.UniformWeights, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Sparsify(g, Options{SigmaSq: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sparsify(g, Options{SigmaSq: 60, Seed: 4, EmbedWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Sparsifier.M() != par.Sparsifier.M() {
+		t.Fatalf("edge counts differ: %d vs %d", seq.Sparsifier.M(), par.Sparsifier.M())
+	}
+	idx := seq.Sparsifier.EdgeIndex()
+	for _, e := range par.Sparsifier.Edges() {
+		if _, ok := idx[[2]int{e.U, e.V}]; !ok {
+			t.Fatalf("edge (%d,%d) kept only with EmbedWorkers", e.U, e.V)
+		}
+	}
+	if seq.SigmaSqAchieved != par.SigmaSqAchieved {
+		t.Fatalf("achieved σ² differ: %v vs %v", seq.SigmaSqAchieved, par.SigmaSqAchieved)
+	}
+}
+
+// TestSparsifyCtxCancellation: a canceled context stops the densification
+// loop and surfaces ctx.Err().
+func TestSparsifyCtxCancellation(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, gen.UniformWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SparsifyCtx(ctx, g, Options{SigmaSq: 50, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The plain entry point is unaffected.
+	if _, err := Sparsify(g, Options{SigmaSq: 50, Seed: 1}); err != nil {
+		t.Fatalf("Sparsify after cancel test: %v", err)
+	}
+}

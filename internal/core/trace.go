@@ -12,7 +12,7 @@ import (
 // By eq. 4 this equals the total stretch st_P(G) when P is a spanning
 // tree, which the tests exploit as an exact cross-check against the
 // LCA-based stretch computation.
-func EstimateTrace(g *graph.Graph, solver lapSolver, probes int, seed uint64) (float64, error) {
+func EstimateTrace(g *graph.Graph, solver Solver, probes int, seed uint64) (float64, error) {
 	if probes < 1 {
 		return 0, errors.New("core: need at least one probe")
 	}

@@ -1,0 +1,351 @@
+// Package engine runs similarity-aware sparsification shard-parallel: the
+// input is k-way partitioned (partition.RecursiveBisect), each induced
+// shard is sparsified concurrently over a bounded worker pool
+// (core.SparsifyCtx with a per-shard seed), and the per-shard sparsifiers
+// are stitched back together with the partition's cut edges — the few cut
+// edges needed for connectivity join the backbone outright, the rest face
+// one global Joule-heat embedding pass over the stitched graph so the σ²
+// guarantee is re-established end-to-end. The result is independently
+// checked with core.VerifySimilarity.
+//
+// Sharding pays twice: the per-round superlinear costs (fill-reducing
+// ordering, factorization) drop to shard size, and shards run on separate
+// cores. On small graphs the fixed costs (partitioning, the global
+// re-filter pass, verification) dominate — see the README for guidance.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/core"
+	"graphspar/internal/graph"
+	"graphspar/internal/partition"
+)
+
+// Errors surfaced by the engine.
+var (
+	ErrBadShards = errors.New("engine: shards must be positive")
+)
+
+// Options configures Run.
+type Options struct {
+	// Shards is the number of parts the input is cut into. 1 runs the
+	// plain single-shot pipeline (plus verification). Default 4.
+	Shards int
+	// Workers bounds how many shards sparsify concurrently (and how many
+	// goroutines the global embedding pass uses). Default GOMAXPROCS.
+	// Workers only affects wall-clock time, never the result.
+	Workers int
+	// Sparsify is applied to every shard (SigmaSq is required, as in
+	// core.Sparsify). Seed is overridden per shard; set Options.Seed to
+	// steer it.
+	Sparsify core.Options
+	// Partition configures the recursive bisection. Nil picks the O(n+m)
+	// BFS level-set bisector, which is the right default here: the
+	// partitioner must cost far less than the sparsifications it feeds,
+	// and spectral cuts would require factoring the full graph. (A
+	// pointer, because partition.Options' zero value means the spectral
+	// Direct method and could not be told apart from "unset".)
+	Partition *partition.Options
+	// RefilterRounds caps the global embedding passes that re-filter cut
+	// edges over the stitched backbone. Each pass adds one heat-ranked,
+	// BatchFraction-capped batch of cut edges and costs one full-size
+	// factorization; passes stop early once the estimated σ² meets the
+	// target. Default 4.
+	RefilterRounds int
+	// CutFilterFraction gates the global embedding pass: the re-filter
+	// runs only when the partition's non-backbone cut exceeds this
+	// fraction of the stitched edge set. A smaller cut is kept whole,
+	// which certifies the end-to-end σ² *exactly* — with every cut edge
+	// present, L_G − L_P is the direct sum of the per-shard remainders,
+	// so the worst shard bound carries over (λmin ≥ 1 by interlacing) —
+	// while skipping a full-size factorization that could not pay for
+	// itself. Default 0.05; negative always runs the embedding pass.
+	CutFilterFraction float64
+	// VerifySteps is the generalized-Lanczos depth of the final
+	// independent similarity check. Default min(30, n).
+	VerifySteps int
+	// SkipVerify drops the final check (pure-compute benchmarking).
+	SkipVerify bool
+	// Seed drives partitioning, per-shard seeds and the global pass.
+	// Default Sparsify.Seed, then 1.
+	Seed uint64
+}
+
+func (o *Options) defaults(n int) error {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadShards, o.Shards)
+	}
+	if !(o.Sparsify.SigmaSq > 1) {
+		return fmt.Errorf("%w: got %v", core.ErrBadSigma, o.Sparsify.SigmaSq)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RefilterRounds <= 0 {
+		o.RefilterRounds = 4
+	}
+	if o.CutFilterFraction == 0 {
+		o.CutFilterFraction = 0.05
+	}
+	if o.VerifySteps <= 0 {
+		o.VerifySteps = 30
+	}
+	if o.VerifySteps > n {
+		o.VerifySteps = n
+	}
+	if o.Seed == 0 {
+		o.Seed = o.Sparsify.Seed
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Partition == nil {
+		o.Partition = &partition.Options{Method: partition.BFS, Seed: o.Seed}
+	}
+	return nil
+}
+
+// shardSeed derives the deterministic sparsification seed of shard i
+// (offset by one so shard 0 does not reuse the master seed, which drives
+// the partitioner and the global pass).
+func shardSeed(seed uint64, i int) uint64 {
+	return core.DeriveSeed(seed, i+1)
+}
+
+// ShardStats reports one shard's sparsification (per connected component
+// of a part; a part disconnected by the cut yields one entry per piece).
+type ShardStats struct {
+	Shard    int // part label this piece belongs to
+	Vertices int
+	Edges    int // induced edges handed to the shard sparsifier
+	Kept     int // edges the shard sparsifier retained
+	// SigmaSqAchieved/TargetMet/Rounds mirror the shard's core.Result.
+	SigmaSqAchieved float64
+	TargetMet       bool
+	Rounds          []core.RoundStats
+	Duration        time.Duration
+	// EdgeIDs are the kept edges as ids into the input graph's edge list;
+	// the stitched sparsifier contains every one of them by construction.
+	EdgeIDs []int
+}
+
+// Result is the output of Run.
+type Result struct {
+	// Sparsifier spans the full input vertex set: every shard sparsifier,
+	// the cut edges stitched in for connectivity, and the cut edges
+	// recovered by the global re-filter pass.
+	Sparsifier *graph.Graph
+	// Labels/Parts echo the k-way partition (Parts can fall short of
+	// Options.Shards on small graphs).
+	Labels []int
+	Parts  int
+	Shards []ShardStats
+
+	// Cut bookkeeping: CutEdges input edges crossed the partition;
+	// StitchedCut of them were added for connectivity, RecoveredCut more
+	// passed the global heat filter.
+	CutEdges     int
+	StitchedCut  int
+	RecoveredCut int
+
+	// LambdaMax/LambdaMin/SigmaSqEst are the engine's own estimates from
+	// the last global pass (before its final additions, like core's
+	// per-round stats). VerifiedCond is the authoritative end-to-end
+	// number.
+	LambdaMax, LambdaMin float64
+	SigmaSqEst           float64
+
+	// Verified* come from the independent generalized-Lanczos check
+	// (zero when Options.SkipVerify).
+	VerifiedLambdaMax float64
+	VerifiedLambdaMin float64
+	VerifiedCond      float64
+	TargetMet         bool
+
+	// Phase timings. ShardCPU sums the per-shard durations; dividing it
+	// by ShardWall gives the parallel speedup of the shard phase, and
+	// WallTime-VerifyTime is the end-to-end compute cost excluding the
+	// optional verification.
+	PartitionTime time.Duration
+	ShardWall     time.Duration
+	ShardCPU      time.Duration
+	StitchTime    time.Duration
+	VerifyTime    time.Duration
+	WallTime      time.Duration
+}
+
+// Density returns |E_P| / |V| of the stitched sparsifier.
+func (r *Result) Density() float64 {
+	return float64(r.Sparsifier.M()) / float64(r.Sparsifier.N())
+}
+
+// Speedup reports the parallel efficiency of the shard phase:
+// ShardCPU / ShardWall (1.0 on a single core or a single shard).
+func (r *Result) Speedup() float64 {
+	if r.ShardWall <= 0 {
+		return 1
+	}
+	return float64(r.ShardCPU) / float64(r.ShardWall)
+}
+
+// Run executes the shard-parallel pipeline. Cancellation of ctx stops the
+// per-shard densification rounds and the global passes at their next
+// checkpoint and returns ctx.Err().
+func Run(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	start := time.Now()
+	if err := g.RequireConnected(); err != nil {
+		return nil, err
+	}
+	if err := opt.defaults(g.N()); err != nil {
+		return nil, err
+	}
+	if opt.Shards == 1 {
+		return runSingle(ctx, g, opt, start)
+	}
+
+	t0 := time.Now()
+	kw, err := partition.RecursiveBisect(g, opt.Shards, *opt.Partition)
+	if err != nil {
+		return nil, fmt.Errorf("engine: partition: %w", err)
+	}
+	res := &Result{
+		Labels:        kw.Labels,
+		Parts:         kw.Parts,
+		PartitionTime: time.Since(t0),
+	}
+
+	tasks, err := buildTasks(g, kw.Labels, kw.Parts)
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	outs, err := runShards(ctx, g, tasks, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.ShardWall = time.Since(t0)
+	for _, out := range outs {
+		res.Shards = append(res.Shards, out.stats)
+		res.ShardCPU += out.stats.Duration
+	}
+
+	t0 = time.Now()
+	keptIDs, stitchedIDs, candIDs := stitch(g, kw.Labels, outs)
+	res.CutEdges = len(stitchedIDs) + len(candIDs)
+	res.StitchedCut = len(stitchedIDs)
+
+	if float64(len(candIDs)) <= opt.CutFilterFraction*float64(len(keptIDs)) {
+		// Small cut: keep it whole. The guarantee is exact (see
+		// CutFilterFraction) and the certified bound is the worst shard's
+		// achieved σ².
+		keptIDs = append(keptIDs, candIDs...)
+		p, err := g.SubgraphEdges(keptIDs)
+		if err != nil {
+			return nil, fmt.Errorf("engine: stitched graph: %w", err)
+		}
+		res.RecoveredCut = len(candIDs)
+		res.Sparsifier = p
+		worst := 1.0
+		for _, s := range res.Shards {
+			if s.SigmaSqAchieved > worst {
+				worst = s.SigmaSqAchieved
+			}
+		}
+		res.LambdaMax, res.LambdaMin = worst, 1
+		res.SigmaSqEst = worst
+	} else {
+		p, recovered, lmax, lmin, err := refilter(ctx, g, keptIDs, candIDs, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.RecoveredCut = recovered
+		res.Sparsifier = p
+		res.LambdaMax, res.LambdaMin = lmax, lmin
+		if lmin > 0 {
+			res.SigmaSqEst = lmax / lmin
+		}
+	}
+	res.StitchTime = time.Since(t0)
+	res.TargetMet = res.SigmaSqEst > 0 && res.SigmaSqEst <= opt.Sparsify.SigmaSq
+
+	if err := verify(ctx, g, res, opt); err != nil {
+		return nil, err
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// runSingle is the Shards=1 fallback: the plain pipeline plus the same
+// verification, reported in engine terms so callers can compare.
+func runSingle(ctx context.Context, g *graph.Graph, opt Options, start time.Time) (*Result, error) {
+	sopt := opt.Sparsify
+	if sopt.Seed == 0 {
+		sopt.Seed = opt.Seed
+	}
+	t0 := time.Now()
+	sp, err := core.SparsifyCtx(ctx, g, sopt)
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		return nil, err
+	}
+	dur := time.Since(t0)
+	ids := append(append([]int(nil), sp.TreeEdgeIDs...), sp.OffTreeAddedIDs...)
+	res := &Result{
+		Sparsifier: sp.Sparsifier,
+		Labels:     make([]int, g.N()),
+		Parts:      1,
+		Shards: []ShardStats{{
+			Vertices:        g.N(),
+			Edges:           g.M(),
+			Kept:            sp.Sparsifier.M(),
+			SigmaSqAchieved: sp.SigmaSqAchieved,
+			TargetMet:       err == nil,
+			Rounds:          sp.Rounds,
+			Duration:        dur,
+			EdgeIDs:         ids,
+		}},
+		LambdaMax:  sp.LambdaMax,
+		LambdaMin:  sp.LambdaMin,
+		SigmaSqEst: sp.SigmaSqAchieved,
+		TargetMet:  err == nil,
+		ShardWall:  dur,
+		ShardCPU:   dur,
+	}
+	if err := verify(ctx, g, res, opt); err != nil {
+		return nil, err
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// verify runs the independent generalized-Lanczos similarity check and
+// folds it into res (honoring SkipVerify).
+func verify(ctx context.Context, g *graph.Graph, res *Result, opt Options) error {
+	if opt.SkipVerify {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	solver, err := cholesky.NewLapSolver(res.Sparsifier)
+	if err != nil {
+		return fmt.Errorf("engine: verification solver: %w", err)
+	}
+	lmax, lmin, cond, err := core.VerifySimilarity(g, res.Sparsifier, solver, opt.VerifySteps, opt.Seed)
+	if err != nil {
+		return fmt.Errorf("engine: similarity verification: %w", err)
+	}
+	res.VerifiedLambdaMax, res.VerifiedLambdaMin, res.VerifiedCond = lmax, lmin, cond
+	res.TargetMet = cond <= opt.Sparsify.SigmaSq
+	res.VerifyTime = time.Since(t0)
+	return nil
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/core"
+	"graphspar/internal/graph"
+	"graphspar/internal/lsst"
+	"graphspar/internal/vecmath"
+)
+
+// stitch merges the per-shard sparsifiers and splits the partition's cut
+// edges into the connectivity backbone and the re-filter candidates: cut
+// edges are scanned heaviest-first (Kruskal on the shard quotient,
+// matching the max-weight backbone philosophy — heavy edges have low
+// resistance) and the ones joining two components are kept outright; the
+// rest go to the global heat filter. The returned kept set spans every
+// vertex and is connected because the input is.
+func stitch(g *graph.Graph, labels []int, outs []shardOut) (keptIDs, stitchedIDs, candIDs []int) {
+	n := g.N()
+	uf := lsst.NewUnionFind(n)
+	seen := make([]bool, g.M())
+	for _, out := range outs {
+		for _, id := range out.stats.EdgeIDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			e := g.Edge(id)
+			uf.Union(e.U, e.V)
+			keptIDs = append(keptIDs, id)
+		}
+	}
+	var cut []int
+	for id, e := range g.Edges() {
+		if labels[e.U] != labels[e.V] {
+			cut = append(cut, id)
+		}
+	}
+	sort.Slice(cut, func(a, b int) bool {
+		wa, wb := g.Edge(cut[a]).W, g.Edge(cut[b]).W
+		if wa != wb {
+			return wa > wb
+		}
+		return cut[a] < cut[b]
+	})
+	for _, id := range cut {
+		e := g.Edge(id)
+		if uf.Union(e.U, e.V) {
+			stitchedIDs = append(stitchedIDs, id)
+			keptIDs = append(keptIDs, id)
+		} else {
+			candIDs = append(candIDs, id)
+		}
+	}
+	sort.Ints(candIDs)
+	return keptIDs, stitchedIDs, candIDs
+}
+
+// refilter runs the global embedding pass(es): estimate the extreme
+// generalized eigenvalues of (L_G, L_P) on the stitched graph, and if the
+// σ² target is unmet, recover the cut edges whose normalized Joule heat
+// beats the similarity-aware threshold (eq. 15) — exactly core's
+// per-round filter, applied once at full size. Returns the final
+// sparsifier, how many cut edges were recovered, and the λ estimates of
+// the last pass.
+func refilter(ctx context.Context, g *graph.Graph, keptIDs, candIDs []int, opt Options) (*graph.Graph, int, float64, float64, error) {
+	t, r, powerIters, batchFraction := opt.Sparsify.EffectiveEmbed(g.N())
+	sigma := opt.Sparsify.SigmaSq
+	rng := vecmath.NewRNG(opt.Seed ^ 0x5717c4)
+
+	p, err := g.SubgraphEdges(keptIDs)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("engine: stitched graph: %w", err)
+	}
+	recovered := 0
+	var lmax, lmin float64
+	for pass := 0; pass < opt.RefilterRounds; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, 0, err
+		}
+		solver, err := cholesky.NewLapSolver(p)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("engine: stitched solver: %w", err)
+		}
+		lmax, err = core.EstimateLambdaMax(g, p, solver, powerIters, rng.Uint64())
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("engine: global λmax estimation: %w", err)
+		}
+		lmin = core.EstimateLambdaMin(g, p)
+		if lmax < lmin {
+			lmax = lmin
+		}
+		if lmin <= 0 || lmax/lmin <= sigma || len(candIDs) == 0 {
+			break
+		}
+
+		heats, maxHeat := core.EmbedOffTreeParallel(g, solver, candIDs, t, r, rng.Uint64(), opt.Workers)
+		theta := core.Threshold(sigma, lmin, lmax, t)
+
+		// Rank the passing candidates by heat and add them in capped
+		// batches — §3.7's small-portions discipline at full size. A badly
+		// cut graph (think SBM split through its blocks) makes the
+		// stitched estimate so loose that θσ admits nearly every cut
+		// edge; accepting them all at once would densify far past what
+		// the target needs.
+		type cand struct {
+			pos  int
+			heat float64
+		}
+		var passing []cand
+		if maxHeat > 0 {
+			for i, h := range heats {
+				if h/maxHeat >= theta {
+					passing = append(passing, cand{i, h})
+				}
+			}
+		}
+		sort.Slice(passing, func(a, b int) bool {
+			if passing[a].heat != passing[b].heat {
+				return passing[a].heat > passing[b].heat
+			}
+			return passing[a].pos < passing[b].pos
+		})
+		limit := int(math.Ceil(batchFraction * float64(len(passing))))
+		if limit < 1 {
+			limit = 1
+		}
+		if len(passing) == 0 {
+			// Estimates say the target is unmet but no candidate beats the
+			// threshold: force the hottest cut edge in to keep moving.
+			best, bestHeat := -1, -1.0
+			for i, h := range heats {
+				if h > bestHeat {
+					best, bestHeat = i, h
+				}
+			}
+			if best < 0 {
+				break
+			}
+			passing = []cand{{best, bestHeat}}
+		}
+		if limit > len(passing) {
+			limit = len(passing)
+		}
+		taken := make(map[int]bool, limit)
+		for _, c := range passing[:limit] {
+			taken[c.pos] = true
+			keptIDs = append(keptIDs, candIDs[c.pos])
+		}
+		recovered += limit
+		rest := candIDs[:0:0]
+		for i, id := range candIDs {
+			if !taken[i] {
+				rest = append(rest, id)
+			}
+		}
+		candIDs = rest
+		p, err = g.SubgraphEdges(keptIDs)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("engine: densified stitched graph: %w", err)
+		}
+	}
+	return p, recovered, lmax, lmin, nil
+}

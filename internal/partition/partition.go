@@ -35,6 +35,12 @@ const (
 	// and uses it to cut the original graph (the shortcut §4.3 mentions
 	// when the sparsifier approximates G well).
 	SparsifierOnly
+	// BFS is the solver-free level-set heuristic: split at the median of
+	// the BFS order from a pseudo-peripheral vertex (the Cuthill–McKee
+	// level-structure idea). Cuts are rougher than spectral ones but cost
+	// O(n + m) total, which is what the sharding engine needs — there the
+	// partitioner must be far cheaper than the sparsifications it feeds.
+	BFS
 )
 
 // String names the backend for flags and logs.
@@ -46,8 +52,27 @@ func (m Method) String() string {
 		return "iterative"
 	case SparsifierOnly:
 		return "sparsifier-only"
+	case BFS:
+		return "bfs"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod is the inverse of Method.String, for flags and wire formats.
+// The empty string maps to Direct.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "", "direct":
+		return Direct, nil
+	case "iterative":
+		return Iterative, nil
+	case "sparsifier-only":
+		return SparsifierOnly, nil
+	case "bfs":
+		return BFS, nil
+	default:
+		return 0, fmt.Errorf("partition: unknown method %q", name)
 	}
 }
 
@@ -119,6 +144,10 @@ func SpectralBisect(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	opt.defaults()
 
+	if opt.Method == BFS {
+		return bfsBisect(g), nil
+	}
+
 	var (
 		solver   eig.LapSolver
 		fiedlerG *graph.Graph = g
@@ -175,6 +204,33 @@ func SpectralBisect(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	}
 	return &res, nil
+}
+
+// bfsBisect splits g at the median of its BFS order from a
+// pseudo-peripheral vertex (two BFS sweeps pick the start, the standard
+// level-structure trick). The positive side is a connected BFS prefix of
+// exactly ⌈n/2⌉ vertices, so the split is perfectly balanced and the cut
+// runs along a level set.
+func bfsBisect(g *graph.Graph) *Result {
+	start := time.Now()
+	order, _ := g.BFSOrder(0)
+	far := order[len(order)-1]
+	order, _ = g.BFSOrder(far)
+
+	n := g.N()
+	res := &Result{Signs: make([]int8, n)}
+	half := (n + 1) / 2
+	for i, v := range order {
+		if i < half {
+			res.Signs[v] = 1
+			res.Positive++
+		} else {
+			res.Signs[v] = -1
+			res.Negative++
+		}
+	}
+	res.SolveTime = time.Since(start)
+	return res
 }
 
 // SignError returns |V_dif|/|V| between two sign vectors, minimized over

@@ -221,3 +221,81 @@ func TestGridBalanceNearOne(t *testing.T) {
 		t.Fatalf("mesh balance %v outside [0.7, 1.5]", b)
 	}
 }
+
+func TestBFSBisectBalancedAndDeterministic(t *testing.T) {
+	g, err := gen.Grid2D(10, 9, gen.UniformWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SpectralBisect(g, Options{Method: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Positive != 45 || a.Negative != 45 {
+		t.Fatalf("BFS split %d/%d, want 45/45", a.Positive, a.Negative)
+	}
+	b, err := SpectralBisect(g, Options{Method: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Signs {
+		if a.Signs[i] != b.Signs[i] {
+			t.Fatalf("BFS bisection not deterministic at vertex %d", i)
+		}
+	}
+}
+
+func TestBFSBisectSeparatesDumbbell(t *testing.T) {
+	// The level-set cut from a peripheral vertex crosses the bridge, so
+	// the two cliques land on opposite sides.
+	g := dumbbell(8)
+	res, err := SpectralBisect(g, Options{Method: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := CutWeight(g, res.Signs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut > 0.011 {
+		t.Errorf("BFS cut weight %v, want just the 0.01 bridge", cut)
+	}
+}
+
+func TestRecursiveBisectBFSMethod(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, gen.UniformWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RecursiveBisect(g, 4, Options{Method: BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts != 4 {
+		t.Fatalf("parts = %d, want 4", res.Parts)
+	}
+	sizes := make(map[int]int)
+	for _, l := range res.Labels {
+		sizes[l]++
+	}
+	for part, size := range sizes {
+		if size < 32 || size > 96 {
+			t.Errorf("part %d badly unbalanced: %d of 256 vertices", part, size)
+		}
+	}
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range []Method{Direct, Iterative, SparsifierOnly, BFS} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if got, err := ParseMethod(""); err != nil || got != Direct {
+		t.Errorf("ParseMethod(\"\") = %v, %v; want Direct", got, err)
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Error("ParseMethod(bogus) should fail")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"graphspar/internal/lsst"
+	"graphspar/internal/partition"
 )
 
 // SparsifyParams is the canonical, fully-defaulted request that keys the
@@ -19,6 +20,18 @@ type SparsifyParams struct {
 	TreeAlg    string  `json:"tree,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
 	MaxEdges   int     `json:"max_edges,omitempty"`
+	// Shards > 1 routes the job through the shard-parallel engine
+	// (internal/engine); 0 or 1 is the single-shot pipeline. Shards is
+	// part of the cache key: a sharded sparsifier and a single-shot one
+	// for the same graph are different artifacts and never alias.
+	Shards int `json:"shards,omitempty"`
+	// Workers bounds the engine's concurrency (0 = all cores). It can
+	// never change the result — engine output is deterministic for any
+	// worker count — so it is deliberately NOT part of the cache key.
+	Workers int `json:"workers,omitempty"`
+	// Partition picks the engine's bisector: "bfs" (default), "direct",
+	// "iterative" or "sparsifier-only". Only meaningful with shards > 1.
+	Partition string `json:"partition,omitempty"`
 }
 
 // Wire-parameter ceilings: the paper uses t ≤ 3 and r = O(log n), so
@@ -27,6 +40,8 @@ type SparsifyParams struct {
 const (
 	maxT          = 16
 	maxNumVectors = 1024
+	maxShards     = 256
+	maxWorkers    = 64
 )
 
 // Canon applies the service-level defaults (matching core.Options'
@@ -59,21 +74,57 @@ func (p *SparsifyParams) Canon() error {
 		return err
 	}
 	p.TreeAlg = alg.String()
+
+	if p.Shards < 0 {
+		p.Shards = 0
+	}
+	if p.Shards == 1 {
+		p.Shards = 0 // canonical single-shot form
+	}
+	if p.Shards > maxShards {
+		return fmt.Errorf("shards must be at most %d, got %d", maxShards, p.Shards)
+	}
+	if p.Workers < 0 {
+		p.Workers = 0
+	}
+	if p.Workers > maxWorkers {
+		return fmt.Errorf("workers must be at most %d, got %d", maxWorkers, p.Workers)
+	}
+	if p.Shards == 0 {
+		// Engine-only knobs are meaningless single-shot; zero them so the
+		// cache key has one canonical spelling.
+		p.Workers = 0
+		p.Partition = ""
+		return nil
+	}
+	if p.MaxEdges > 0 {
+		return fmt.Errorf("max_edges is a single-shot knob; it does not compose with shards")
+	}
+	m, err := partition.ParseMethod(p.Partition)
+	if err != nil {
+		return err
+	}
+	if p.Partition == "" {
+		m = partition.BFS // the engine's default bisector
+	}
+	p.Partition = m.String()
 	return nil
 }
 
 // key returns the exact cache key for canonicalized params on a graph.
+// Workers is absent on purpose: it cannot affect the result.
 func (p SparsifyParams) key(graphHash string) string {
-	return fmt.Sprintf("%s|s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|max=%d",
-		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges)
+	return fmt.Sprintf("%s|s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s",
+		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition)
 }
 
 // family groups cache lines that differ only in σ², enabling the
 // coarser-target lookup: a sparsifier built for σ²=50 also certifies any
-// request for σ² ≥ 50 on the same graph with the same knobs.
+// request for σ² ≥ 50 on the same graph with the same knobs. Sharded and
+// single-shot families are disjoint.
 func (p SparsifyParams) family(graphHash string) string {
-	return fmt.Sprintf("%s|t=%d|r=%d|tree=%s|seed=%d|max=%d",
-		graphHash, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges)
+	return fmt.Sprintf("%s|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s",
+		graphHash, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition)
 }
 
 // CacheStats is a snapshot of cache effectiveness counters.

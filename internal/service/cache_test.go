@@ -191,3 +191,61 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		t.Errorf("cache over capacity: %d", c.Len())
 	}
 }
+
+func TestCanonShardParams(t *testing.T) {
+	// shards=1 canonicalizes to the single-shot form.
+	p := SparsifyParams{SigmaSq: 100, Shards: 1, Workers: 8, Partition: "direct"}
+	if err := p.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != 0 || p.Workers != 0 || p.Partition != "" {
+		t.Errorf("single-shot canonical form not applied: %+v", p)
+	}
+	// shards>1 defaults the bisector and keeps workers (off-key).
+	q := SparsifyParams{SigmaSq: 100, Shards: 4, Workers: 2}
+	if err := q.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Partition != "bfs" || q.Workers != 2 {
+		t.Errorf("sharded canon: %+v", q)
+	}
+
+	for _, bad := range []SparsifyParams{
+		{SigmaSq: 100, Shards: 1000},
+		{SigmaSq: 100, Shards: 2, Workers: 1000},
+		{SigmaSq: 100, Shards: 2, Partition: "bogus"},
+		{SigmaSq: 100, Shards: 2, MaxEdges: 50},
+	} {
+		if err := bad.Canon(); err == nil {
+			t.Errorf("Canon(%+v): want error", bad)
+		}
+	}
+}
+
+func TestShardParamsCacheKeys(t *testing.T) {
+	single := params(100)
+	sharded := SparsifyParams{SigmaSq: 100, Shards: 4}
+	if err := sharded.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	// Sharded and single-shot results must never alias, in either the
+	// exact key or the coarser-σ² family.
+	if single.key("h") == sharded.key("h") {
+		t.Error("sharded and single-shot share a cache key")
+	}
+	if single.family("h") == sharded.family("h") {
+		t.Error("sharded and single-shot share a cache family")
+	}
+	// Workers cannot affect the result and must not fragment the cache.
+	w1, w8 := sharded, sharded
+	w1.Workers, w8.Workers = 1, 8
+	if w1.key("h") != w8.key("h") {
+		t.Error("worker count fragments the cache key")
+	}
+	// Different shard counts are different artifacts.
+	s8 := sharded
+	s8.Shards = 8
+	if s8.key("h") == sharded.key("h") {
+		t.Error("shard counts share a cache key")
+	}
+}

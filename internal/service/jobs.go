@@ -9,8 +9,10 @@ import (
 
 	"graphspar/internal/cholesky"
 	"graphspar/internal/core"
+	"graphspar/internal/engine"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
+	"graphspar/internal/partition"
 )
 
 // Queue errors, mapped to HTTP status codes by the handlers.
@@ -51,6 +53,13 @@ type JobResult struct {
 	VerifiedLambdaMax float64 `json:"verified_lambda_max"`
 	VerifiedLambdaMin float64 `json:"verified_lambda_min"`
 	VerifiedCond      float64 `json:"verified_condition_number"`
+
+	// Sharded-engine metadata, zero for single-shot jobs. ShardSpeedup is
+	// the shard phase's parallel efficiency (Σ per-shard CPU / wall).
+	Shards       int     `json:"shards,omitempty"`
+	CutEdges     int     `json:"cut_edges,omitempty"`
+	RecoveredCut int     `json:"recovered_cut_edges,omitempty"`
+	ShardSpeedup float64 `json:"shard_speedup,omitempty"`
 
 	Sparsifier *graph.Graph `json:"-"`
 }
@@ -324,19 +333,23 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 }
 
 // RunSparsify is the production SparsifyFunc: it maps the wire params to
-// core.Options, runs the similarity-aware pipeline, and independently
-// verifies the result with a generalized Lanczos estimate. The context
-// is checked between the expensive stages; core.Sparsify itself is not
-// interruptible, so cancellation takes effect at stage boundaries.
+// core.Options, runs the similarity-aware pipeline (single-shot, or the
+// shard-parallel engine when shards > 1), and independently verifies the
+// result with a generalized Lanczos estimate. Cancellation propagates
+// into the densification rounds via core.SparsifyCtx, so a canceled job
+// stops computing at its next round boundary.
 func RunSparsify(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if p.Shards > 1 {
+		return runSharded(ctx, g, p)
 	}
 	alg, err := lsst.Parse(p.TreeAlg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Sparsify(g, core.Options{
+	res, err := core.SparsifyCtx(ctx, g, core.Options{
 		SigmaSq:    p.SigmaSq,
 		T:          p.T,
 		NumVectors: p.NumVectors,
@@ -378,6 +391,63 @@ func RunSparsify(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobRes
 	}
 	out.VerifiedLambdaMax, out.VerifiedLambdaMin, out.VerifiedCond = lmax, lmin, cond
 	return out, nil
+}
+
+// runSharded maps a shards>1 job onto the engine, which partitions,
+// sparsifies each shard concurrently, stitches, and verifies on its own.
+func runSharded(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	alg, err := lsst.Parse(p.TreeAlg)
+	if err != nil {
+		return nil, err
+	}
+	var popt *partition.Options
+	if p.Partition != "" {
+		m, err := partition.ParseMethod(p.Partition)
+		if err != nil {
+			return nil, err
+		}
+		popt = &partition.Options{Method: m, SigmaSq: p.SigmaSq, Seed: p.Seed}
+	}
+	res, err := engine.Run(ctx, g, engine.Options{
+		Shards:  p.Shards,
+		Workers: p.Workers,
+		Sparsify: core.Options{
+			SigmaSq:    p.SigmaSq,
+			T:          p.T,
+			NumVectors: p.NumVectors,
+			TreeAlg:    alg,
+		},
+		Partition:   popt,
+		VerifySteps: lanczosSteps(g.N()),
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rounds := 0
+	for _, s := range res.Shards {
+		rounds += len(s.Rounds)
+	}
+	return &JobResult{
+		EdgesKept:  res.Sparsifier.M(),
+		EdgesInput: g.M(),
+		Density:    res.Density(),
+		Reduction:  float64(g.M()) / float64(res.Sparsifier.M()),
+		// Like single-shot jobs, sigma2_achieved is the pipeline's own
+		// (conservative) estimate; verified_* carry the independent check.
+		SigmaSqAchieved:   res.SigmaSqEst,
+		TargetMet:         res.TargetMet,
+		Rounds:            rounds,
+		Connected:         res.Sparsifier.IsConnected(),
+		VerifiedLambdaMax: res.VerifiedLambdaMax,
+		VerifiedLambdaMin: res.VerifiedLambdaMin,
+		VerifiedCond:      res.VerifiedCond,
+		Shards:            res.Parts,
+		CutEdges:          res.CutEdges,
+		RecoveredCut:      res.RecoveredCut,
+		ShardSpeedup:      res.Speedup(),
+		Sparsifier:        res.Sparsifier,
+	}, nil
 }
 
 // lanczosSteps picks the verification depth: enough steps for the Ritz

@@ -284,3 +284,70 @@ func TestRunSparsifyEndToEnd(t *testing.T) {
 		t.Errorf("canceled ctx: err = %v", err)
 	}
 }
+
+func TestRunSparsifyShardedEndToEnd(t *testing.T) {
+	entry := testEntry(t)
+	p := SparsifyParams{SigmaSq: 50, Shards: 2, Workers: 2}
+	if err := p.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSparsify(context.Background(), entry.Graph, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Connected {
+		t.Error("sharded sparsifier disconnected")
+	}
+	if res.Shards != 2 {
+		t.Errorf("shards = %d, want 2", res.Shards)
+	}
+	if res.VerifiedCond <= 0 {
+		t.Errorf("missing verification: %+v", res)
+	}
+	if res.ShardSpeedup <= 0 {
+		t.Errorf("missing speedup metadata: %+v", res)
+	}
+	if res.EdgesKept != res.Sparsifier.M() || res.EdgesInput != entry.M {
+		t.Errorf("edge counts: %+v", res)
+	}
+	// Cancellation propagates into the engine.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSparsify(ctx, entry.Graph, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v", err)
+	}
+}
+
+func TestQueueShardedAndSingleShotDoNotAlias(t *testing.T) {
+	entry := testEntry(t)
+	cache := NewResultCache(16)
+	var calls atomic.Int64
+	q := NewQueue(1, 8, cache, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+		calls.Add(1)
+		return &JobResult{SigmaSqAchieved: 10, TargetMet: true, Sparsifier: g, Shards: p.Shards}, nil
+	})
+	defer q.Shutdown(context.Background())
+
+	single := params(100)
+	sharded := SparsifyParams{SigmaSq: 100, Shards: 4}
+	if err := sharded.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := q.Submit(entry, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, q, j1.ID)
+	// The sharded request must MISS despite the identical σ² and seed.
+	j2, err := q.Submit(entry, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, q, j2.ID)
+	if done.CacheHit != "" {
+		t.Errorf("sharded request served from single-shot cache: %+v", done)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("sparsify calls = %d, want 2", got)
+	}
+}
