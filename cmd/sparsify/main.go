@@ -6,6 +6,13 @@
 //	sparsify -graph grid:300x300:uniform -sigma2 100 [-out sparsifier.mtx]
 //	sparsify -graph problem.mtx -sigma2 50 -tree akpw -t 2
 //	sparsify -graph grid:512x512:uniform -sigma2 100 -shards 8 -workers 4
+//	sparsify -graph grid:200x200 -sigma2 100 -update-stream events.txt
+//
+// With -update-stream, the graph is sparsified once and the edge-event
+// file (lines "+ u v w" / "- u v" / "= u v w", batches separated by
+// "commit") is replayed through the incremental maintainer, reporting the
+// certificate after every batch and comparing the total incremental cost
+// against one from-scratch re-sparsification of the final graph.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"graphspar/internal/cli"
 	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
 	"graphspar/internal/engine"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
@@ -36,6 +44,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent shard sparsifications (0 = all cores)")
 		partAlg   = flag.String("partition", "bfs", "engine bisector: bfs | direct | iterative | sparsifier-only")
 		embedWork = flag.Int("embed-workers", 0, "goroutines for the probe-vector solves (0 = sequential; any value is bit-identical)")
+		stream    = flag.String("update-stream", "", "edge-event file to replay through the incremental maintainer after the initial sparsification")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print per-round densification stats (per shard in sharded mode)")
 	)
@@ -54,6 +63,10 @@ func main() {
 	opts := core.Options{
 		SigmaSq: *sigmaSq, T: *tSteps, NumVectors: *rVecs,
 		TreeAlg: alg, Seed: *seed, EmbedWorkers: *embedWork,
+	}
+	if *stream != "" {
+		runUpdateStream(g, opts, *stream, *shards, *workers, *out)
+		return
 	}
 	if *shards > 1 {
 		runSharded(g, opts, *shards, *workers, *partAlg, *seed, *verbose, *out)
@@ -118,6 +131,77 @@ func runSharded(g *graph.Graph, opts core.Options, shards, workers int, partAlg 
 		}
 	}
 	save(out, res.Sparsifier)
+}
+
+// runUpdateStream replays an edge-event file through the incremental
+// maintainer and compares the cumulative incremental cost against one
+// from-scratch re-sparsification of the final graph.
+func runUpdateStream(g *graph.Graph, opts core.Options, path string, shards, workers int, out string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	batches, err := dynamic.ParseEvents(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(batches) == 0 {
+		fatal(errors.New("update stream holds no events"))
+	}
+
+	t0 := time.Now()
+	m, err := dynamic.New(context.Background(), g, dynamic.Options{
+		Sparsify:       opts,
+		RebuildShards:  shards,
+		RebuildWorkers: workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	buildDur := time.Since(t0)
+	fmt.Printf("initial sparsifier: |Es|=%d  κ=%.1f (target %.1f) in %s\n",
+		m.Sparsifier().M(), m.Cond(), opts.SigmaSq, buildDur.Round(time.Millisecond))
+
+	var incDur time.Duration
+	applied, rejected := 0, 0
+	for i, batch := range batches {
+		tb := time.Now()
+		err := m.Apply(context.Background(), batch)
+		d := time.Since(tb)
+		incDur += d
+		if errors.Is(err, dynamic.ErrWouldDisconnect) {
+			rejected++
+			fmt.Printf("batch %3d: %3d updates REJECTED (would disconnect) in %s\n", i+1, len(batch), d.Round(time.Microsecond))
+			continue
+		}
+		if err != nil {
+			fatal(fmt.Errorf("batch %d: %w", i+1, err))
+		}
+		applied++
+		fmt.Printf("batch %3d: %3d updates  |E|=%d |Es|=%d  κ=%.1f  %s\n",
+			i+1, len(batch), m.Graph().M(), m.Sparsifier().M(), m.Cond(), d.Round(time.Microsecond))
+	}
+	st := m.Stats()
+	fmt.Printf("stream: %d batches applied, %d rejected; %d inserts admitted, %d tree repairs, %d refilter rounds, %d rebuilds\n",
+		applied, rejected, st.InsertsAdmitted, st.TreeRepairs, st.Refilters, st.Rebuilds)
+	if !m.TargetMet() {
+		fmt.Printf("warning: final certificate κ=%.1f exceeds the σ² target %.1f (best effort)\n", m.Cond(), opts.SigmaSq)
+	}
+	fmt.Printf("incremental time: %s total (%s/batch)\n",
+		incDur.Round(time.Millisecond), (incDur / time.Duration(len(batches))).Round(time.Microsecond))
+
+	// Reference: one from-scratch sparsification of the final graph.
+	tf := time.Now()
+	res, err := core.Sparsify(m.Graph(), opts)
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		fatal(err)
+	}
+	fullDur := time.Since(tf)
+	perBatch := incDur / time.Duration(len(batches))
+	fmt.Printf("full re-sparsify of final graph: |Es|=%d in %s  (%.1fx the per-batch incremental cost)\n",
+		res.Sparsifier.M(), fullDur.Round(time.Millisecond), float64(fullDur)/float64(perBatch))
+	save(out, m.Sparsifier())
 }
 
 func printRounds(rounds []core.RoundStats) {

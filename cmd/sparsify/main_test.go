@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
+	"graphspar/internal/cli"
+	"graphspar/internal/core"
 	"graphspar/internal/lsst"
 )
 
@@ -20,5 +24,33 @@ func TestParseTree(t *testing.T) {
 	}
 	if _, err := lsst.Parse("bogus"); err == nil {
 		t.Fatal("bogus algorithm should fail")
+	}
+}
+
+// TestRunUpdateStream drives the -update-stream path end to end on a
+// small grid: replayed batches, one rejected bridge delete is impossible
+// on a grid, final sparsifier written out.
+func TestRunUpdateStream(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.txt")
+	if err := os.WriteFile(events, []byte(
+		"+ 0 63 1.5\ncommit\n= 0 1 2.5\n- 62 63\ncommit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cli.LoadGraph("grid:8x8:uniform", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "sparsifier.mtx")
+	runUpdateStream(g, core.Options{SigmaSq: 60, Seed: 1}, events, 0, 0, out)
+	g2, err := cli.LoadGraph(out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() {
+		t.Fatalf("output sparsifier has %d vertices, want %d", g2.N(), g.N())
+	}
+	if !g2.IsConnected() {
+		t.Fatal("output sparsifier must be connected")
 	}
 }

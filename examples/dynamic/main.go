@@ -1,0 +1,124 @@
+// Dynamic maintenance walkthrough: sparsify a graph once, then keep the
+// sparsifier's σ² certificate valid under a stream of edge insertions,
+// deletions and reweights — without re-running the pipeline per batch.
+// Compares the incremental per-batch cost against a from-scratch
+// re-sparsification at the end.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/vecmath"
+)
+
+// randomBatch samples a mixed update batch against the current graph:
+// inserts of random non-edges, reweights and deletes of random existing
+// edges, each edge touched at most once per batch. A deliberate sibling
+// of testkit.RandomBatch — the testkit package depends on the testing
+// framework, which a runnable example should not link. Attempts are
+// bounded so a near-complete graph cannot stall the insert branch.
+func randomBatch(g *graph.Graph, rng *vecmath.RNG, size int) []dynamic.Update {
+	used := make(map[[2]int]bool, size)
+	var batch []dynamic.Update
+	for tries := 0; len(batch) < size && tries < 64*size; tries++ {
+		switch r := rng.Float64(); {
+		case r < 0.4:
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if used[[2]int{u, v}] {
+				continue
+			}
+			used[[2]int{u, v}] = true
+			batch = append(batch, dynamic.Insert(u, v, 0.25+1.5*rng.Float64()))
+		case r < 0.7:
+			e := g.Edge(rng.Intn(g.M()))
+			if used[[2]int{e.U, e.V}] {
+				continue
+			}
+			used[[2]int{e.U, e.V}] = true
+			batch = append(batch, dynamic.Reweight(e.U, e.V, e.W*(0.5+rng.Float64())))
+		default:
+			e := g.Edge(rng.Intn(g.M()))
+			if used[[2]int{e.U, e.V}] {
+				continue
+			}
+			used[[2]int{e.U, e.V}] = true
+			batch = append(batch, dynamic.Delete(e.U, e.V))
+		}
+	}
+	return batch
+}
+
+func main() {
+	// 1. A workload: a power-grid-style mesh whose topology evolves
+	// (line additions, outages, conductance changes).
+	g, err := gen.Grid2D(60, 60, gen.UniformWeights, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+
+	// 2. Build the maintainer: one full sparsification plus the retained
+	// probe embedding that later batches are scored against.
+	const sigmaSq = 80
+	t0 := time.Now()
+	m, err := dynamic.New(context.Background(), g, dynamic.Options{
+		Sparsify: core.Options{SigmaSq: sigmaSq, Seed: 42},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial sparsifier: %d edges, verified κ = %.1f (target %d) in %s\n",
+		m.Sparsifier().M(), m.Cond(), sigmaSq, time.Since(t0).Round(time.Millisecond))
+
+	// 3. Replay a random update stream in small batches. After every
+	// accepted batch the certificate is re-verified; deletes that would
+	// disconnect the graph come back as typed errors and change nothing.
+	rng := vecmath.NewRNG(7)
+	var incremental time.Duration
+	applied, rejected := 0, 0
+	for i := 0; i < 20; i++ {
+		batch := randomBatch(m.Graph(), rng, 4)
+		tb := time.Now()
+		err := m.Apply(context.Background(), batch)
+		incremental += time.Since(tb)
+		switch {
+		case errors.Is(err, dynamic.ErrWouldDisconnect):
+			rejected++
+			continue
+		case err != nil:
+			log.Fatal(err)
+		}
+		applied++
+	}
+	st := m.Stats()
+	fmt.Printf("stream: %d batches applied, %d rejected; %d inserts admitted, %d tree repairs, %d refilter rounds, %d rebuilds\n",
+		applied, rejected, st.InsertsAdmitted, st.TreeRepairs, st.Refilters, st.Rebuilds)
+	fmt.Printf("after stream: %d graph edges, %d sparsifier edges, verified κ = %.1f\n",
+		m.Graph().M(), m.Sparsifier().M(), m.Cond())
+	perBatch := incremental / 20
+	fmt.Printf("incremental cost: %s/batch\n", perBatch.Round(time.Microsecond))
+
+	// 4. The alternative: re-sparsifying the final graph from scratch.
+	tf := time.Now()
+	res, err := core.Sparsify(m.Graph(), core.Options{SigmaSq: sigmaSq, Seed: 42})
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		log.Fatal(err)
+	}
+	full := time.Since(tf)
+	fmt.Printf("from-scratch re-sparsify: %d edges in %s — %.1fx the per-batch incremental cost\n",
+		res.Sparsifier.M(), full.Round(time.Millisecond), float64(full)/float64(perBatch))
+}

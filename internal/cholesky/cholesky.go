@@ -327,13 +327,43 @@ type LapSolver struct {
 	n       int
 	ground  int
 	factor  *Factor
+	perm    []int // elimination order of the reduced system
 	reduced []int // reduced index -> original vertex
 	rhs     []float64
 	sol     []float64
 }
 
-// NewLapSolver grounds the last vertex of g, orders with RCM and factors.
+// NewLapSolver grounds the last vertex of g, orders with minimum degree
+// and factors.
 func NewLapSolver(g *graph.Graph) (*LapSolver, error) {
+	return newLapSolver(g, nil)
+}
+
+// NewLapSolverOrdered factors with a caller-supplied elimination order of
+// the reduced (n-1)-vertex system instead of recomputing minimum degree —
+// ordering dominates factorization cost on sparsifier-sized graphs, and
+// an order computed for a structurally similar graph stays near-optimal.
+// The dynamic maintainer reuses the order of its last full build across
+// incremental refactorizations. The permutation is validated; a wrong
+// length or a non-permutation is an error.
+func NewLapSolverOrdered(g *graph.Graph, perm []int) (*LapSolver, error) {
+	if perm == nil {
+		return nil, errors.New("cholesky: nil permutation")
+	}
+	if len(perm) != g.N()-1 {
+		return nil, fmt.Errorf("cholesky: permutation length %d, want %d", len(perm), g.N()-1)
+	}
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			return nil, errors.New("cholesky: invalid permutation")
+		}
+		seen[v] = true
+	}
+	return newLapSolver(g, perm)
+}
+
+func newLapSolver(g *graph.Graph, perm []int) (*LapSolver, error) {
 	if err := g.RequireConnected(); err != nil {
 		return nil, err
 	}
@@ -341,36 +371,83 @@ func NewLapSolver(g *graph.Graph) (*LapSolver, error) {
 	if n == 1 {
 		return &LapSolver{n: 1, ground: 0}, nil
 	}
-	ground := n - 1
-	// Build the reduced Laplacian (drop ground row/col).
-	b := sparse.NewBuilder(n-1, n-1)
-	deg := g.WeightedDegrees()
-	for i := 0; i < n-1; i++ {
-		b.Add(i, i, deg[i])
-	}
-	for _, e := range g.Edges() {
-		if e.U != ground && e.V != ground {
-			b.Add(e.U, e.V, -e.W)
-			b.Add(e.V, e.U, -e.W)
-		}
-	}
-	red := b.Build()
+	red := reducedLaplacianCSR(g)
 	// Minimum degree keeps near-tree sparsifier factors nearly fill-free;
 	// RCM remains available for callers factoring banded matrices
 	// directly via FactorCSR.
-	perm := MinDegree(red)
+	if perm == nil {
+		perm = MinDegree(red)
+	}
 	f, err := FactorCSR(red, perm)
 	if err != nil {
 		return nil, err
 	}
 	ls := &LapSolver{
 		n:      n,
-		ground: ground,
+		ground: n - 1,
 		factor: f,
+		perm:   perm,
 		rhs:    make([]float64, n-1),
 		sol:    make([]float64, n-1),
 	}
 	return ls, nil
+}
+
+// Ordering returns the elimination order the reduced system was factored
+// with (nil for n=1). Callers must not mutate it.
+func (ls *LapSolver) Ordering() []int { return ls.perm }
+
+// reducedLaplacianCSR assembles the grounded Laplacian (ground = n-1's
+// row and column dropped, diagonals keep the full weighted degree)
+// directly into row- and column-sorted CSR in O(n + m), with no triplet
+// sort: the edge list is (U,V)-sorted, so each row receives its smaller
+// neighbors in ascending order (edges where it is V), then the diagonal,
+// then its larger neighbors in ascending order (edges where it is U).
+// This is the per-refactorization hot path of the dynamic maintainer.
+func reducedLaplacianCSR(g *graph.Graph) *sparse.CSR {
+	n := g.N()
+	ground := n - 1
+	deg := g.WeightedDegrees()
+	rows := n - 1
+	// Per-row counts: smaller-neighbor entries and total off-diagonals.
+	small := make([]int, rows)
+	total := make([]int, rows)
+	for _, e := range g.Edges() {
+		if e.U == ground || e.V == ground {
+			continue
+		}
+		small[e.V]++
+		total[e.U]++
+		total[e.V]++
+	}
+	ptr := make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		ptr[i+1] = ptr[i] + total[i] + 1 // +1 for the diagonal
+	}
+	nnz := ptr[rows]
+	col := make([]int, nnz)
+	val := make([]float64, nnz)
+	nextSmall := make([]int, rows)
+	nextLarge := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		nextSmall[i] = ptr[i]
+		nextLarge[i] = ptr[i] + small[i] + 1
+		d := ptr[i] + small[i]
+		col[d] = i
+		val[d] = deg[i]
+	}
+	for _, e := range g.Edges() {
+		if e.U == ground || e.V == ground {
+			continue
+		}
+		k := nextSmall[e.V]
+		col[k], val[k] = e.U, -e.W
+		nextSmall[e.V]++
+		k = nextLarge[e.U]
+		col[k], val[k] = e.V, -e.W
+		nextLarge[e.U]++
+	}
+	return &sparse.CSR{Rows: rows, Cols: rows, RowPtr: ptr, ColIdx: col, Val: val}
 }
 
 // Session returns a solver that shares the receiver's factorization but

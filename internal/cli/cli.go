@@ -26,6 +26,7 @@ const SpecHelp = `graph spec: a MatrixMarket file path (*.mtx), or a generator:
   annulus:RINGSxPER                      airfoil-like ring mesh
   knn:N,K,DIM                            random geometric kNN graph
   ba:N,M                                 Barabási–Albert
+  barbell:K,PATH[:unit|uniform|log]      two K_K cliques joined by a path
   coauth:N,M,CLOSURE                     BA + triangle closure
   ws:N,K,BETA                            Watts–Strogatz
   dense:N,AVGDEG                         dense random graph
@@ -148,6 +149,17 @@ func LoadGraph(spec string, seed uint64) (*graph.Graph, error) {
 			return nil, err
 		}
 		return gen.BarabasiAlbert(int(v[0]), int(v[1]), seed)
+	case "barbell":
+		shape, mode, _ := strings.Cut(rest, ":")
+		v, err := nums(shape, 2)
+		if err != nil {
+			return nil, err
+		}
+		wm, err := weightMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Barbell(int(v[0]), int(v[1]), wm, seed)
 	case "coauth":
 		v, err := nums(rest, 3)
 		if err != nil {

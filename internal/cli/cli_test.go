@@ -20,6 +20,8 @@ func TestLoadGraphGenerators(t *testing.T) {
 		{"annulus:4x8", 32},
 		{"knn:100,4,2", 100},
 		{"ba:50,2", 50},
+		{"barbell:6,4", 15},
+		{"barbell:6,4:unit", 15},
 		{"coauth:50,2,0.3", 50},
 		{"ws:40,4,0.1", 40},
 		{"dense:40,6", 40},
@@ -44,7 +46,7 @@ func TestLoadGraphGenerators(t *testing.T) {
 func TestLoadGraphErrors(t *testing.T) {
 	for _, spec := range []string{
 		"", "nope:1", "grid:5", "grid:axb", "grid:5x5:bogus",
-		"knn:1,2", "missing-file.mtx",
+		"knn:1,2", "missing-file.mtx", "barbell:2,1", "barbell:6,4:bogus",
 	} {
 		if _, err := LoadGraph(spec, 1); err == nil {
 			t.Fatalf("spec %q should fail", spec)

@@ -1,0 +1,141 @@
+package dynamic_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/testkit"
+	"graphspar/internal/vecmath"
+)
+
+// benchState shares the expensive setup (one full sparsify of grid256 and
+// one maintainer build) across the batch-size sub-benchmarks.
+type benchState struct {
+	once     sync.Once
+	g        *graph.Graph
+	m        *dynamic.Maintainer
+	fullDur  time.Duration // one from-scratch core.Sparsify of the graph
+	buildErr error
+}
+
+var incBench benchState
+
+const benchSigmaSq = 100
+
+func (s *benchState) setup() {
+	s.once.Do(func() {
+		g, err := gen.Grid2D(256, 256, gen.UniformWeights, 1)
+		if err != nil {
+			s.buildErr = err
+			return
+		}
+		s.g = g
+		t0 := time.Now()
+		if _, err := core.Sparsify(g, core.Options{SigmaSq: benchSigmaSq, Seed: 1}); err != nil &&
+			!errors.Is(err, core.ErrNoTarget) {
+			s.buildErr = err
+			return
+		}
+		s.fullDur = time.Since(t0)
+		s.m, s.buildErr = dynamic.New(context.Background(), g, dynamic.Options{
+			Sparsify: core.Options{SigmaSq: benchSigmaSq, Seed: 1},
+		})
+	})
+}
+
+// benchResults accumulates the per-batch-size metrics for the
+// BENCH_dynamic.json artifact (written when BENCH_DYNAMIC_JSON names a
+// path, e.g. by the CI bench step).
+var (
+	benchResultsMu sync.Mutex
+	benchResults   = map[string]any{}
+)
+
+func publishBenchResult(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	benchResultsMu.Lock()
+	defer benchResultsMu.Unlock()
+	benchResults[name] = metrics
+	path := os.Getenv("BENCH_DYNAMIC_JSON")
+	if path == "" {
+		return
+	}
+	out := map[string]any{
+		"benchmark": "BenchmarkIncrementalUpdate",
+		"graph":     "grid256",
+		"sigma2":    benchSigmaSq,
+		"results":   benchResults,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIncrementalUpdate measures maintaining a grid256 sparsifier
+// under update batches of size 1, 16 and 256 against the cost of a full
+// re-sparsification (the pre-dynamic answer to any mutation). Reported
+// metrics: batch-ms is the mean Apply wall time, speedup-vs-full is
+// T(core.Sparsify) / T(Apply) — the acceptance bar is ≥ 5 for size-1
+// batches — and κ confirms the certificate held. Batches that a random
+// stream would reject (bridge deletes) are skipped and regenerated, so
+// every measured Apply does real maintenance work.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	for _, size := range []int{1, 16, 256} {
+		name := map[int]string{1: "batch=1", 16: "batch=16", 256: "batch=256"}[size]
+		b.Run(name, func(b *testing.B) {
+			incBench.setup()
+			if incBench.buildErr != nil {
+				b.Fatal(incBench.buildErr)
+			}
+			m := incBench.m
+			rng := vecmath.NewRNG(uint64(size) * 977)
+			b.ResetTimer()
+			var applied int
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				batch := testkit.RandomBatch(m.Graph(), rng, size)
+				t0 := time.Now()
+				err := m.Apply(context.Background(), batch)
+				if errors.Is(err, dynamic.ErrWouldDisconnect) {
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += time.Since(t0)
+				applied++
+			}
+			b.StopTimer()
+			if applied == 0 {
+				b.Skip("no batch applied in this run")
+			}
+			perApply := total / time.Duration(applied)
+			speedup := float64(incBench.fullDur) / float64(perApply)
+			b.ReportMetric(float64(perApply.Milliseconds()), "batch-ms")
+			b.ReportMetric(speedup, "speedup-vs-full")
+			b.ReportMetric(m.Cond(), "κ")
+			b.ReportMetric(float64(m.Stats().Rebuilds), "rebuilds")
+			publishBenchResult(b, name, map[string]float64{
+				"batch_size":      float64(size),
+				"apply_ms":        float64(perApply.Milliseconds()),
+				"full_ms":         float64(incBench.fullDur.Milliseconds()),
+				"speedup_vs_full": speedup,
+				"cond":            m.Cond(),
+				"rebuilds":        float64(m.Stats().Rebuilds),
+			})
+		})
+	}
+}

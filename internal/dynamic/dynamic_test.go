@@ -1,0 +1,277 @@
+package dynamic_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/testkit"
+)
+
+// checkInvariant is the shared testkit invariant: connected subgraph,
+// weights mirrored, verified κ within the σ² target.
+func checkInvariant(t *testing.T, m *dynamic.Maintainer, sigmaSq float64) {
+	t.Helper()
+	testkit.AssertInvariant(t, m, sigmaSq)
+}
+
+func newMaintainer(t *testing.T, g *graph.Graph, sigmaSq float64) *dynamic.Maintainer {
+	t.Helper()
+	m, err := dynamic.New(context.Background(), g, dynamic.Options{
+		Sparsify: core.Options{SigmaSq: sigmaSq, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestApplyMixedBatchKeepsCertificate(t *testing.T) {
+	g, err := gen.Grid2D(14, 14, gen.UniformWeights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigmaSq = 50
+	m := newMaintainer(t, g, sigmaSq)
+	checkInvariant(t, m, sigmaSq)
+
+	// Insert a long-range edge, reweight an existing one, delete another.
+	victim := g.Edge(g.M() - 1)
+	rew := g.Edge(0)
+	batch := []dynamic.Update{
+		dynamic.Insert(0, g.N()-1, 1.0),
+		dynamic.Reweight(rew.U, rew.V, rew.W*3),
+		dynamic.Delete(victim.U, victim.V),
+	}
+	if err := m.Apply(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, m, sigmaSq)
+
+	if !m.Graph().HasEdge(0, g.N()-1) {
+		t.Fatal("inserted edge missing from graph")
+	}
+	if m.Graph().HasEdge(victim.U, victim.V) {
+		t.Fatal("deleted edge still present")
+	}
+	st := m.Stats()
+	if st.Applies != 1 || st.Updates != 3 {
+		t.Fatalf("stats = %+v, want 1 apply / 3 updates", st)
+	}
+}
+
+func TestDeleteTreeEdgeTriggersRepair(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, gen.UniformWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigmaSq = 80
+	m := newMaintainer(t, g, sigmaSq)
+	te := m.Backbone().Edges()[0]
+	if err := m.Apply(context.Background(), []dynamic.Update{dynamic.Delete(te.U, te.V)}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().TreeRepairs != 1 {
+		t.Fatalf("TreeRepairs = %d, want 1", m.Stats().TreeRepairs)
+	}
+	checkInvariant(t, m, sigmaSq)
+}
+
+func TestBridgeDeleteRejectedAtomically(t *testing.T) {
+	g, err := gen.Barbell(6, 3, gen.UniformWeights, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigmaSq = 30
+	m := newMaintainer(t, g, sigmaSq)
+	before := m.Graph().M()
+	condBefore := m.Cond()
+
+	// Path edges of Barbell(6,3) are bridges; (5,6) is the first one. The
+	// insert shortcuts the later path segment, so (5,6) stays a bridge
+	// within the batch and the whole batch must be rejected.
+	err = m.Apply(context.Background(), []dynamic.Update{
+		dynamic.Insert(6, 8, 1), // valid part of the batch
+		dynamic.Delete(5, 6),    // bridge: must reject everything
+	})
+	if !errors.Is(err, dynamic.ErrWouldDisconnect) {
+		t.Fatalf("err = %v, want ErrWouldDisconnect", err)
+	}
+	if m.Graph().M() != before || m.Cond() != condBefore {
+		t.Fatal("failed batch must leave the maintainer unchanged")
+	}
+	if m.Graph().HasEdge(6, 8) {
+		t.Fatal("batch must be atomic: insert from the failed batch applied")
+	}
+}
+
+func TestBatchValidationErrors(t *testing.T) {
+	g, err := gen.Grid2D(6, 6, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMaintainer(t, g, 100)
+	ctx := context.Background()
+	e0 := g.Edge(0)
+
+	cases := []struct {
+		name  string
+		batch []dynamic.Update
+		want  error
+	}{
+		{"insert existing", []dynamic.Update{dynamic.Insert(e0.U, e0.V, 1)}, dynamic.ErrEdgeExists},
+		{"delete missing", []dynamic.Update{dynamic.Delete(0, 35)}, dynamic.ErrEdgeMissing},
+		{"reweight missing", []dynamic.Update{dynamic.Reweight(0, 35, 2)}, dynamic.ErrEdgeMissing},
+		{"self loop", []dynamic.Update{dynamic.Insert(3, 3, 1)}, dynamic.ErrBadUpdate},
+		{"range", []dynamic.Update{dynamic.Insert(0, 99, 1)}, dynamic.ErrBadUpdate},
+		{"bad weight", []dynamic.Update{dynamic.Insert(0, 35, -1)}, dynamic.ErrBadUpdate},
+		{"duplicate edge in batch", []dynamic.Update{
+			dynamic.Insert(0, 35, 1), dynamic.Reweight(0, 35, 2),
+		}, dynamic.ErrBadUpdate},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := m.Apply(ctx, c.batch); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+	if st := m.Stats(); st.Applies != 0 {
+		t.Fatalf("failed batches must not count as applies, got %+v", st)
+	}
+}
+
+func TestDriftBudgetForcesRebuild(t *testing.T) {
+	g, err := gen.Grid2D(8, 8, gen.UniformWeights, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dynamic.New(context.Background(), g, dynamic.Options{
+		Sparsify:      core.Options{SigmaSq: 60, Seed: 1},
+		DriftFraction: 1e-12, // any perturbation mass exceeds the budget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(context.Background(), []dynamic.Update{dynamic.Insert(0, 63, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want exactly 1 (deterministic forced rebuild)", st.Rebuilds)
+	}
+	if st.Drift != 0 {
+		t.Fatalf("drift must reset after a rebuild, got %v", st.Drift)
+	}
+	checkInvariant(t, m, 60)
+}
+
+func TestExplicitRebuild(t *testing.T) {
+	g, err := gen.Grid2D(8, 8, gen.UniformWeights, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMaintainer(t, g, 60)
+	if err := m.Rebuild(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", m.Stats().Rebuilds)
+	}
+	checkInvariant(t, m, 60)
+}
+
+func TestResumeWarmStart(t *testing.T) {
+	g1, err := gen.Grid2D(12, 12, gen.UniformWeights, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigmaSq = 50
+	m1 := newMaintainer(t, g1, sigmaSq)
+	warm := m1.Sparsifier()
+
+	// Perturb the graph: drop a corner edge, add two chords, bump weights.
+	e := g1.Edge(5)
+	g2, err := dynamic.ApplyToGraph(g1, []dynamic.Update{
+		dynamic.Delete(e.U, e.V),
+		dynamic.Insert(0, g1.N()-1, 1.5),
+		dynamic.Insert(3, g1.N()-7, 0.7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := dynamic.Resume(context.Background(), g2, warm, dynamic.Options{
+		Sparsify: core.Options{SigmaSq: sigmaSq, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Stats().WarmStart {
+		t.Fatal("WarmStart flag must be set")
+	}
+	checkInvariant(t, m2, sigmaSq)
+}
+
+func TestResumeRejectsMismatchedVertexSet(t *testing.T) {
+	g, err := gen.Grid2D(6, 6, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := gen.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dynamic.Resume(context.Background(), g, small, dynamic.Options{
+		Sparsify: core.Options{SigmaSq: 50},
+	}); err == nil {
+		t.Fatal("mismatched warm sparsifier must fail")
+	}
+}
+
+func TestShardedRebuildPath(t *testing.T) {
+	g, err := gen.Grid2D(16, 16, gen.UniformWeights, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigmaSq = 60
+	m, err := dynamic.New(context.Background(), g, dynamic.Options{
+		Sparsify:      core.Options{SigmaSq: sigmaSq, Seed: 1},
+		RebuildShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, m, sigmaSq)
+	if err := m.Apply(context.Background(), []dynamic.Update{dynamic.Insert(0, g.N()-1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, m, sigmaSq)
+}
+
+func TestDisconnectedInputRejected(t *testing.T) {
+	two := graph.MustNew(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}})
+	if _, err := dynamic.New(context.Background(), two, dynamic.Options{
+		Sparsify: core.Options{SigmaSq: 50},
+	}); !errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("err = %v, want graph.ErrDisconnected", err)
+	}
+}
+
+func TestApplyToGraphEmptyBatch(t *testing.T) {
+	g, err := gen.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dynamic.ApplyToGraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatal("empty batch must return the graph unchanged")
+	}
+}

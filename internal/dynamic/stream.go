@@ -1,0 +1,110 @@
+package dynamic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseEvents reads an edge-event stream into update batches. The format
+// is line-oriented (cmd/sparsify's -update-stream mode replays it):
+//
+//	# comment — blank lines are skipped too
+//	+ u v w      insert edge (u,v) with weight w
+//	- u v        delete edge (u,v)
+//	= u v w      reweight edge (u,v) to w
+//	commit       close the current batch
+//
+// The named ops insert/delete/reweight are accepted in place of +/-/=.
+// Updates after the last commit form a final implicit batch. Empty
+// batches (consecutive commits) are dropped.
+func ParseEvents(r io.Reader) ([][]Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var (
+		batches [][]Update
+		cur     []Update
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "commit" {
+			if len(cur) > 0 {
+				batches = append(batches, cur)
+				cur = nil
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		op, err := ParseOp(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		want := 3
+		if op == OpDelete {
+			want = 2
+		}
+		if len(f) != want+1 {
+			return nil, fmt.Errorf("line %d: %w: %q needs %d fields", lineNo, ErrBadUpdate, f[0], want+1)
+		}
+		u, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w: %v", lineNo, ErrBadUpdate, err)
+		}
+		v, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w: %v", lineNo, ErrBadUpdate, err)
+		}
+		w := 0.0
+		if op != OpDelete {
+			w, err = strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w: %v", lineNo, ErrBadUpdate, err)
+			}
+		}
+		cur = append(cur, Update{Op: op, U: u, V: v, W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// WriteEvents is the inverse of ParseEvents: it serializes batches with
+// commit separators, so tools can round-trip recorded streams.
+func WriteEvents(w io.Writer, batches [][]Update) error {
+	bw := bufio.NewWriter(w)
+	for i, batch := range batches {
+		for _, u := range batch {
+			var err error
+			switch u.Op {
+			case OpDelete:
+				_, err = fmt.Fprintf(bw, "- %d %d\n", u.U, u.V)
+			case OpInsert:
+				_, err = fmt.Fprintf(bw, "+ %d %d %.17g\n", u.U, u.V, u.W)
+			case OpReweight:
+				_, err = fmt.Fprintf(bw, "= %d %d %.17g\n", u.U, u.V, u.W)
+			default:
+				err = fmt.Errorf("%w: op %v", ErrBadUpdate, u.Op)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if i < len(batches)-1 {
+			if _, err := fmt.Fprintln(bw, "commit"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package dynamic
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseEventsRoundTrip(t *testing.T) {
+	in := `# warm-up batch
++ 0 5 1.5
+= 1 2 0.25
+commit
+
+- 3 4
+commit
++ 7 9 2
+`
+	batches, err := ParseEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]Update{
+		{Insert(0, 5, 1.5), Reweight(1, 2, 0.25)},
+		{Delete(3, 4)},
+		{Insert(7, 9, 2)},
+	}
+	if len(batches) != len(want) {
+		t.Fatalf("batches = %d, want %d", len(batches), len(want))
+	}
+	for i := range want {
+		if len(batches[i]) != len(want[i]) {
+			t.Fatalf("batch %d has %d updates, want %d", i, len(batches[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if batches[i][j] != want[i][j] {
+				t.Fatalf("batch %d update %d = %+v, want %+v", i, j, batches[i][j], want[i][j])
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, batches); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(batches) {
+		t.Fatalf("round trip changed batch count: %d vs %d", len(again), len(batches))
+	}
+	for i := range batches {
+		for j := range batches[i] {
+			if again[i][j] != batches[i][j] {
+				t.Fatalf("round trip changed update %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestParseEventsNamedOpsAndEmptyBatches(t *testing.T) {
+	in := "commit\ninsert 1 2 3\ncommit\ncommit\ndelete 1 2\nreweight 3 4 5\n"
+	batches, err := ParseEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2 (empty batches dropped)", len(batches))
+	}
+}
+
+func TestParseEventsErrors(t *testing.T) {
+	for _, in := range []string{
+		"~ 1 2 3\n",   // unknown op
+		"+ 1 2\n",     // insert missing weight
+		"- 1\n",       // delete missing endpoint
+		"+ a 2 3\n",   // bad vertex
+		"+ 1 2 x\n",   // bad weight
+		"- 1 2 3 4\n", // too many fields
+	} {
+		if _, err := ParseEvents(strings.NewReader(in)); !errors.Is(err, ErrBadUpdate) {
+			t.Fatalf("input %q: err = %v, want ErrBadUpdate", in, err)
+		}
+	}
+}

@@ -239,3 +239,24 @@ func TestExplicitPartitionOptions(t *testing.T) {
 		t.Errorf("parts = %d, want 2", res.Parts)
 	}
 }
+
+// TestRunRejectsDisconnectedGraph is the regression test for the
+// connected-graph assumption: a dynamic workload can try to shard a graph
+// right after a bridge deletion elsewhere in the stack, and the engine
+// must answer with the typed connectivity error rather than panic or
+// wedge in the partitioner.
+func TestRunRejectsDisconnectedGraph(t *testing.T) {
+	two := graph.MustNew(6, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1},
+		{U: 3, V: 4, W: 1}, {U: 4, V: 5, W: 1},
+	})
+	for _, shards := range []int{1, 2} {
+		_, err := Run(context.Background(), two, Options{
+			Shards:   shards,
+			Sparsify: core.Options{SigmaSq: 50},
+		})
+		if !errors.Is(err, graph.ErrDisconnected) {
+			t.Fatalf("shards=%d: err = %v, want graph.ErrDisconnected", shards, err)
+		}
+	}
+}

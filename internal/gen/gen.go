@@ -489,6 +489,36 @@ func Complete(n int) (*graph.Graph, error) {
 	return graph.New(n, edges)
 }
 
+// Barbell returns two K_k cliques joined by a path of pathLen edges, with
+// the chosen weight mode on every edge. Every path edge is a bridge, which
+// makes the graph the canonical stress case for connectivity-sensitive
+// code: a spanning backbone must carry the whole path, and deleting any
+// path edge disconnects the graph. Vertices 0..k-1 form the left clique,
+// the path interior follows, and the right clique occupies the last k ids.
+func Barbell(k, pathLen int, mode WeightMode, seed uint64) (*graph.Graph, error) {
+	if k < 3 || pathLen < 1 {
+		return nil, fmt.Errorf("gen: Barbell(k=%d, pathLen=%d) invalid", k, pathLen)
+	}
+	rng := vecmath.NewRNG(seed)
+	n := 2*k + pathLen - 1
+	var edges []graph.Edge
+	clique := func(base int) {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j, W: weight(mode, rng)})
+			}
+		}
+	}
+	clique(0)
+	clique(k + pathLen - 1)
+	// Path from the last left-clique vertex through pathLen-1 interior
+	// vertices to the first right-clique vertex.
+	for i := 0; i < pathLen; i++ {
+		edges = append(edges, graph.Edge{U: k - 1 + i, V: k + i, W: weight(mode, rng)})
+	}
+	return graph.New(n, edges)
+}
+
 // Star returns the star graph with center 0 and n-1 leaves.
 func Star(n int) (*graph.Graph, error) {
 	if n < 2 {

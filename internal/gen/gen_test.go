@@ -3,6 +3,8 @@ package gen
 import (
 	"testing"
 	"testing/quick"
+
+	"graphspar/internal/graph"
 )
 
 func TestGrid2DShape(t *testing.T) {
@@ -307,5 +309,39 @@ func TestQuickGeneratorsConnected(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g, err := Barbell(5, 3, UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := 2*5 + 3 - 1
+	wantM := 2*(5*4/2) + 3
+	if g.N() != wantN || g.M() != wantM {
+		t.Fatalf("shape = %d/%d, want %d/%d", g.N(), g.M(), wantN, wantM)
+	}
+	if !g.IsConnected() {
+		t.Fatal("barbell must be connected")
+	}
+	// Every path edge is a bridge: removing (k-1, k) = (4, 5) must split
+	// the graph into the left clique and everything else.
+	var keep []graph.Edge
+	for _, e := range g.Edges() {
+		if e.U == 4 && e.V == 5 {
+			continue
+		}
+		keep = append(keep, e)
+	}
+	cut := graph.MustNew(g.N(), keep)
+	if cut.IsConnected() {
+		t.Fatal("removing a path edge must disconnect the barbell")
+	}
+	if _, err := Barbell(2, 1, UnitWeights, 1); err == nil {
+		t.Fatal("k < 3 should fail")
+	}
+	if _, err := Barbell(4, 0, UnitWeights, 1); err == nil {
+		t.Fatal("pathLen < 1 should fail")
 	}
 }

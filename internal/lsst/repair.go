@@ -1,0 +1,55 @@
+package lsst
+
+import (
+	"errors"
+
+	"graphspar/internal/graph"
+)
+
+// ErrNoReplacement is returned by FindReplacement when no edge of g
+// reconnects the two sides of the broken tree — i.e. the removed tree edge
+// is a bridge of the full graph.
+var ErrNoReplacement = errors.New("lsst: removed tree edge is a bridge, no replacement exists")
+
+// FindReplacement repairs a spanning tree after one tree edge is removed:
+// given the surviving tree edges (as endpoint pairs, any orientation) and
+// the removed edge's endpoints, it 2-colors the vertices by the forest
+// component they fall in and returns the id of the maximum-weight edge of
+// g crossing the two components. Choosing the heaviest crossing edge
+// mirrors the max-weight backbone rule: high conductance keeps the repair
+// path's resistance (and hence the stretch of rerouted edges) low.
+//
+// skip may be nil; when set, edges whose id maps to true are not eligible
+// (the caller uses it to exclude edges being deleted in the same batch).
+// Runs in O(n + m).
+func FindReplacement(g *graph.Graph, treeEdges [][2]int, removedU, removedV int, skip map[int]bool) (int, error) {
+	n := g.N()
+	uf := NewUnionFind(n)
+	for _, e := range treeEdges {
+		uf.Union(e[0], e[1])
+	}
+	sideU, sideV := uf.Find(removedU), uf.Find(removedV)
+	if sideU == sideV {
+		// The forest already reconnects the endpoints: nothing to repair.
+		return -1, nil
+	}
+	best, bestW := -1, 0.0
+	for id, e := range g.Edges() {
+		if skip != nil && skip[id] {
+			continue
+		}
+		ru, rv := uf.Find(e.U), uf.Find(e.V)
+		// The forest may hold more than two components when a batch removes
+		// several tree edges, so the repair edge must join the two specific
+		// components the removed edge used to bridge.
+		if (ru == sideU && rv == sideV) || (ru == sideV && rv == sideU) {
+			if e.W > bestW {
+				best, bestW = id, e.W
+			}
+		}
+	}
+	if best < 0 {
+		return -1, ErrNoReplacement
+	}
+	return best, nil
+}

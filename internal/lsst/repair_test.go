@@ -1,0 +1,82 @@
+package lsst
+
+import (
+	"errors"
+	"testing"
+
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+)
+
+// treePairs converts tree edge ids into the endpoint-pair form
+// FindReplacement consumes.
+func treePairs(g *graph.Graph, ids []int) [][2]int {
+	out := make([][2]int, len(ids))
+	for i, id := range ids {
+		e := g.Edge(id)
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out
+}
+
+func TestFindReplacementPicksHeaviestCrossingEdge(t *testing.T) {
+	// Square with both diagonals; tree = three sides. Removing the side
+	// (0,1) leaves {0,3} | {1,2} when the surviving tree is 1-2, 2-3... so
+	// build explicitly: tree edges (0,1),(1,2),(2,3); remove (1,2): the
+	// components are {0,1} and {2,3}; crossing edges are (1,2) itself
+	// (excluded via skip), (0,2) w=5 and (1,3) w=9.
+	g := graph.MustNew(4, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+		{U: 0, V: 2, W: 5}, {U: 1, V: 3, W: 9},
+	})
+	surviving := [][2]int{{0, 1}, {2, 3}}
+	removed := g.EdgeIndex()[[2]int{1, 2}]
+	id, err := FindReplacement(g, surviving, 1, 2, map[int]bool{removed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := g.Edge(id); e.U != 1 || e.V != 3 || e.W != 9 {
+		t.Fatalf("replacement = %+v, want the w=9 edge (1,3)", e)
+	}
+}
+
+func TestFindReplacementBridgeFails(t *testing.T) {
+	// Barbell: deleting the single path edge disconnects the graph, so no
+	// replacement can exist.
+	g, err := gen.Barbell(3, 1, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the bridge (2,3): clique 0-2, clique 3-5.
+	bridge := g.EdgeIndex()[[2]int{2, 3}]
+	tree, err := MaxWeightSpanningTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var surviving [][2]int
+	for _, id := range tree {
+		if id == bridge {
+			continue
+		}
+		e := g.Edge(id)
+		surviving = append(surviving, [2]int{e.U, e.V})
+	}
+	_, err = FindReplacement(g, surviving, 2, 3, map[int]bool{bridge: true})
+	if !errors.Is(err, ErrNoReplacement) {
+		t.Fatalf("err = %v, want ErrNoReplacement", err)
+	}
+}
+
+func TestFindReplacementAlreadyConnected(t *testing.T) {
+	// Forest that still spans both endpoints: nothing to repair.
+	g := graph.MustNew(3, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 1},
+	})
+	id, err := FindReplacement(g, [][2]int{{0, 1}, {1, 2}}, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != -1 {
+		t.Fatalf("id = %d, want -1 (no repair needed)", id)
+	}
+}

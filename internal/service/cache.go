@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"fmt"
+	"strings"
 	"sync"
 
 	"graphspar/internal/lsst"
@@ -32,6 +33,16 @@ type SparsifyParams struct {
 	// Partition picks the engine's bisector: "bfs" (default), "direct",
 	// "iterative" or "sparsifier-only". Only meaningful with shards > 1.
 	Partition string `json:"partition,omitempty"`
+	// Incremental warm-starts the job from a prior job's sparsifier
+	// (dynamic.Resume) instead of sparsifying from scratch — the fast path
+	// after PATCHing a graph's edges. Incremental jobs bypass the result
+	// cache entirely: their output depends on which warm start was
+	// available, not only on (graph, params).
+	Incremental bool `json:"incremental,omitempty"`
+	// WarmJob optionally names the job whose sparsifier seeds the warm
+	// start; empty picks the most recent finished job for the same graph
+	// name. Only meaningful with Incremental.
+	WarmJob string `json:"warm_job,omitempty"`
 }
 
 // Wire-parameter ceilings: the paper uses t ≤ 3 and r = O(log n), so
@@ -89,6 +100,15 @@ func (p *SparsifyParams) Canon() error {
 	}
 	if p.Workers > maxWorkers {
 		return fmt.Errorf("workers must be at most %d, got %d", maxWorkers, p.Workers)
+	}
+	if !p.Incremental && p.WarmJob != "" {
+		return fmt.Errorf("warm_job requires incremental=true")
+	}
+	if p.Incremental && p.MaxEdges > 0 {
+		// The maintainer has no edge budget: re-filter rounds admit
+		// whatever the certificate needs. Reject rather than silently
+		// returning an unbounded result.
+		return fmt.Errorf("max_edges does not compose with incremental")
 	}
 	if p.Shards == 0 {
 		// Engine-only knobs are meaningless single-shot; zero them so the
@@ -269,6 +289,35 @@ func (c *ResultCache) evictOldest() {
 		}
 	}
 	c.stats.Evictions++
+}
+
+// InvalidateGraph drops every cached result for the given graph hash.
+// The PATCH handler calls it after mutating a registered graph: the new
+// content hash re-keys all future lookups, so the old hash's entries can
+// never hit again and would only pin dead sparsifiers in memory.
+func (c *ResultCache) InvalidateGraph(graphHash string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := graphHash + "|"
+	removed := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ce := el.Value.(*cacheEntry)
+		if !strings.HasPrefix(ce.key, prefix) {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.byKey, ce.key)
+		if fam := c.byFamily[ce.family]; fam != nil {
+			delete(fam, el)
+			if len(fam) == 0 {
+				delete(c.byFamily, ce.family)
+			}
+		}
+		removed++
+	}
+	return removed
 }
 
 // Stats snapshots the counters.

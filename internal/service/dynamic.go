@@ -1,0 +1,168 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
+	"graphspar/internal/graph"
+	"graphspar/internal/lsst"
+	"graphspar/internal/partition"
+)
+
+// updateJSON is the wire form of one edge mutation.
+type updateJSON struct {
+	Op string  `json:"op"` // insert | delete | reweight
+	U  int     `json:"u"`
+	V  int     `json:"v"`
+	W  float64 `json:"w,omitempty"`
+}
+
+type patchRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type patchResponse struct {
+	graphInfo
+	Applied  int    `json:"applied"`
+	PrevHash string `json:"prev_hash"`
+	Evicted  int    `json:"cache_entries_evicted"`
+}
+
+// maxPatchUpdates bounds one PATCH body; larger reshapes should re-upload.
+const maxPatchUpdates = 100_000
+
+// handlePatchEdges applies a batch of edge mutations to a registered
+// graph: PATCH /v1/graphs/{name}/edges. The batch is atomic — any invalid
+// update, or a result that would be disconnected, rejects the whole batch
+// and the stored graph is unchanged. On success the graph is re-hashed
+// under its name, and result-cache entries keyed by the old content hash
+// are dropped (they can never hit again). Jobs submitted afterwards see
+// the mutated graph; pass {"incremental": true} to warm-start them from a
+// prior job's sparsifier instead of re-sparsifying from scratch.
+func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req patchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("updates is required and must be non-empty"))
+		return
+	}
+	if len(req.Updates) > maxPatchUpdates {
+		writeErr(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("batch of %d updates exceeds the %d limit; upload the new graph instead", len(req.Updates), maxPatchUpdates))
+		return
+	}
+	batch := make([]dynamic.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		op, err := dynamic.ParseOp(u.Op)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+			return
+		}
+		batch[i] = dynamic.Update{Op: op, U: u.U, V: u.V, W: u.W}
+	}
+	// Apply-and-swap loop: the registry Update is a compare-and-set on the
+	// content hash, so a concurrent PATCH to the same graph makes this one
+	// re-read the winner's graph and re-apply its own batch rather than
+	// silently clobbering the other's mutations. Persistent contention
+	// (or a batch invalidated by the concurrent change, e.g. its delete
+	// target is gone) surfaces as the batch-validation error against the
+	// latest graph.
+	const patchRetries = 4
+	for attempt := 0; ; attempt++ {
+		entry, err := s.registry.Get(name)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		mutated, err := dynamic.ApplyToGraph(entry.Graph, batch)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		prevHash := entry.Hash
+		updated, err := s.registry.Update(name, prevHash, mutated)
+		if errors.Is(err, ErrGraphChanged) && attempt < patchRetries {
+			continue
+		}
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		evicted := 0
+		if s.cache != nil && updated.Hash != prevHash {
+			evicted = s.cache.InvalidateGraph(prevHash)
+		}
+		writeJSON(w, http.StatusOK, patchResponse{
+			graphInfo: toGraphInfo(updated),
+			Applied:   len(batch),
+			PrevHash:  prevHash,
+			Evicted:   evicted,
+		})
+		return
+	}
+}
+
+// RunIncremental is the production IncrementalFunc: it warm-starts a
+// dynamic.Maintainer from a prior sparsifier (dynamic.Resume reconciles
+// it against the current graph and re-establishes the certificate with
+// re-filter rounds) instead of running the full pipeline. The certificate
+// in the result is the maintainer's independently verified κ.
+func RunIncremental(ctx context.Context, g, warm *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	alg, err := lsst.Parse(p.TreeAlg)
+	if err != nil {
+		return nil, err
+	}
+	var popt *partition.Options
+	if p.Shards > 1 && p.Partition != "" {
+		method, err := partition.ParseMethod(p.Partition)
+		if err != nil {
+			return nil, err
+		}
+		popt = &partition.Options{Method: method, SigmaSq: p.SigmaSq, Seed: p.Seed}
+	}
+	m, err := dynamic.Resume(ctx, g, warm, dynamic.Options{
+		Sparsify: core.Options{
+			SigmaSq:    p.SigmaSq,
+			T:          p.T,
+			NumVectors: p.NumVectors,
+			TreeAlg:    alg,
+			Seed:       p.Seed,
+		},
+		RebuildShards:    p.Shards,
+		RebuildWorkers:   p.Workers,
+		RebuildPartition: popt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp := m.Sparsifier()
+	st := m.Stats()
+	return &JobResult{
+		EdgesKept:       sp.M(),
+		EdgesInput:      g.M(),
+		Density:         float64(sp.M()) / float64(sp.N()),
+		Reduction:       float64(g.M()) / float64(sp.M()),
+		SigmaSqAchieved: m.Cond(),
+		TargetMet:       m.TargetMet(),
+		Rounds:          st.Refilters,
+		Connected:       sp.IsConnected(),
+		// The maintainer's certificate IS the independent Lanczos check.
+		VerifiedCond: m.Cond(),
+		Refilters:    st.Refilters,
+		Rebuilds:     st.Rebuilds,
+		Sparsifier:   sp,
+	}, nil
+}

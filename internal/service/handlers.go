@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"graphspar/internal/cli"
+	"graphspar/internal/dynamic"
 	"graphspar/internal/graph"
 	"graphspar/internal/mm"
 )
@@ -66,8 +67,10 @@ func NewServer(cfg Config) *Server {
 	cache := NewResultCache(cfg.CacheSize)
 	queue := NewQueue(cfg.Workers, cfg.Backlog, cache, cfg.Sparsify)
 	queue.SetRetain(cfg.RetainJobs)
+	registry := NewRegistry()
+	queue.SetCacheGate(registry.HasHash)
 	return &Server{
-		registry: NewRegistry(),
+		registry: registry,
 		cache:    cache,
 		queue:    queue,
 	}
@@ -86,6 +89,7 @@ func (s *Server) Queue() *Queue { return s.queue }
 //	GET    /v1/graphs                                     list
 //	GET    /v1/graphs/{name}                              metadata
 //	GET    /v1/graphs/{name}/laplacian.mtx                Laplacian download
+//	PATCH  /v1/graphs/{name}/edges   {updates: [...]}     atomic edge insert/delete/reweight batch
 //	DELETE /v1/graphs/{name}                              remove
 //	POST   /v1/jobs                  {graph, sigma2, ...} submit (cache-aware)
 //	GET    /v1/jobs                                       list
@@ -101,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("GET /v1/graphs/{name}/laplacian.mtx", s.handleGraphLaplacian)
+	mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.handlePatchEdges)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -135,7 +140,7 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrGraphNotFound), errors.Is(err, ErrJobNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrGraphExists):
+	case errors.Is(err, ErrGraphExists), errors.Is(err, ErrGraphChanged):
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
@@ -144,8 +149,15 @@ func errStatus(err error) int {
 	case errors.Is(err, ErrJobUnfinished):
 		return http.StatusConflict
 	case errors.Is(err, ErrBadGraphName), errors.Is(err, cli.ErrSpec),
-		errors.Is(err, mm.ErrFormat), errors.Is(err, mm.ErrUnsupported):
+		errors.Is(err, mm.ErrFormat), errors.Is(err, mm.ErrUnsupported),
+		errors.Is(err, dynamic.ErrBadUpdate):
 		return http.StatusBadRequest
+	case errors.Is(err, dynamic.ErrEdgeExists):
+		return http.StatusConflict
+	case errors.Is(err, dynamic.ErrEdgeMissing), errors.Is(err, dynamic.ErrWouldDisconnect):
+		// Structurally valid requests the current graph cannot satisfy —
+		// notably deleting a bridge, which would disconnect the graph.
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
 	}
@@ -186,9 +198,11 @@ type registerRequest struct {
 const maxSpecWork = 50_000_000
 
 // checkSpecBudget rejects generator specs whose size parameters multiply
-// past maxSpecWork, before any allocation happens. Parameters ≤ 1
+// past the work budget, before any allocation happens. Parameters ≤ 1
 // (probabilities such as ws beta or coauth closure) don't contribute.
-func checkSpecBudget(spec string) error {
+// Handlers pass maxSpecWork; the fuzz harness passes a tiny budget so
+// generator execution stays cheap per exec.
+func checkSpecBudget(spec string, budget float64) error {
 	work := 1.0
 	_, rest, _ := strings.Cut(spec, ":")
 	for _, part := range strings.FieldsFunc(rest, func(r rune) bool {
@@ -201,8 +215,8 @@ func checkSpecBudget(spec string) error {
 		if v > 1 {
 			work *= v
 		}
-		if work > maxSpecWork {
-			return fmt.Errorf("spec %q exceeds the size budget (~%d units); generate it offline and upload instead", spec, maxSpecWork)
+		if work > budget {
+			return fmt.Errorf("spec %q exceeds the size budget (~%d units); generate it offline and upload instead", spec, int64(budget))
 		}
 	}
 	return nil
@@ -227,7 +241,7 @@ func (s *Server) handleRegisterSpec(w http.ResponseWriter, r *http.Request) {
 			errors.New("file specs are not accepted over HTTP; upload the MatrixMarket file with PUT /v1/graphs/{name}"))
 		return
 	}
-	if err := checkSpecBudget(req.Spec); err != nil {
+	if err := checkSpecBudget(req.Spec, maxSpecWork); err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}

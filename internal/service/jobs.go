@@ -61,6 +61,15 @@ type JobResult struct {
 	RecoveredCut int     `json:"recovered_cut_edges,omitempty"`
 	ShardSpeedup float64 `json:"shard_speedup,omitempty"`
 
+	// Incremental-job metadata. WarmSource names the job whose sparsifier
+	// seeded the warm start ("" = no warm start was available and the job
+	// fell back to a from-scratch run). Refilters/Rebuilds count the
+	// maintainer's certificate-restoration work.
+	Incremental bool   `json:"incremental,omitempty"`
+	WarmSource  string `json:"warm_source,omitempty"`
+	Refilters   int    `json:"refilter_rounds,omitempty"`
+	Rebuilds    int    `json:"rebuilds,omitempty"`
+
 	Sparsifier *graph.Graph `json:"-"`
 }
 
@@ -85,6 +94,10 @@ type Job struct {
 // Injectable so tests can count or stub the expensive call.
 type SparsifyFunc func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error)
 
+// IncrementalFunc runs one warm-started sparsification from a prior
+// sparsifier; the default is RunIncremental.
+type IncrementalFunc func(ctx context.Context, g, warm *graph.Graph, p SparsifyParams) (*JobResult, error)
+
 // defaultRetainJobs bounds how many terminal jobs the queue remembers
 // (the daemon would otherwise leak one sparsifier graph per job ever
 // submitted).
@@ -108,8 +121,24 @@ type Queue struct {
 	wg      sync.WaitGroup
 	closed  bool
 
-	cache    *ResultCache
-	sparsify SparsifyFunc
+	cache       *ResultCache
+	cacheGate   func(hash string) bool // nil = always cache
+	sparsify    SparsifyFunc
+	incremental IncrementalFunc
+}
+
+// SetCacheGate installs a predicate consulted before caching a finished
+// result under a graph hash; returning false drops the write. The server
+// wires it to Registry.HasHash so results computed against a graph that
+// was PATCHed mid-flight (and whose old-hash cache lines were already
+// invalidated) don't re-occupy cache slots under a hash no lookup will
+// ever ask for again. A PATCH landing between the gate check and the Put
+// can still leak one such entry; it is unreachable but harmless and ages
+// out via LRU.
+func (q *Queue) SetCacheGate(gate func(hash string) bool) {
+	q.mu.Lock()
+	q.cacheGate = gate
+	q.mu.Unlock()
 }
 
 // NewQueue starts a queue with the given concurrency and backlog bounds.
@@ -127,13 +156,14 @@ func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc) *
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		jobs:     make(map[string]*Job),
-		retain:   defaultRetainJobs,
-		pending:  make(chan *Job, backlog),
-		ctx:      ctx,
-		cancel:   cancel,
-		cache:    cache,
-		sparsify: sparsify,
+		jobs:        make(map[string]*Job),
+		retain:      defaultRetainJobs,
+		pending:     make(chan *Job, backlog),
+		ctx:         ctx,
+		cancel:      cancel,
+		cache:       cache,
+		sparsify:    sparsify,
+		incremental: RunIncremental,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -164,8 +194,9 @@ func (q *Queue) Submit(entry *GraphEntry, p SparsifyParams) (Job, error) {
 
 	// Memoized path: completed result for the same (graph, params) — or a
 	// tighter-σ² result that still certifies this target — short-circuits
-	// the queue entirely.
-	if q.cache != nil {
+	// the queue entirely. Incremental jobs bypass the cache: their result
+	// depends on which warm start is available, not only on the request.
+	if q.cache != nil && !p.Incremental {
 		if res, outcome := q.cache.Get(entry.Hash, p); outcome != CacheMiss {
 			now := time.Now().UTC()
 			job.Status = StatusDone
@@ -229,11 +260,89 @@ func (q *Queue) run(job *Job) {
 	entry, p := job.graphEntry, job.Params
 	q.mu.Unlock()
 
-	res, err := q.sparsify(q.ctx, entry.Graph, p)
+	var (
+		res *JobResult
+		err error
+	)
+	if p.Incremental {
+		res, err = q.runIncremental(entry, p)
+		q.finish(job, res, err)
+		return // never cached: result depends on the warm-start state
+	}
+	res, err = q.sparsify(q.ctx, entry.Graph, p)
 	q.finish(job, res, err)
 	if err == nil && q.cache != nil {
-		q.cache.Put(entry.Hash, p, res)
+		q.mu.Lock()
+		gate := q.cacheGate
+		q.mu.Unlock()
+		if gate == nil || gate(entry.Hash) {
+			q.cache.Put(entry.Hash, p, res)
+		}
 	}
+}
+
+// runIncremental resolves the warm-start sparsifier and dispatches to the
+// incremental runner, falling back to the plain runner when no usable warm
+// start exists (first job for a graph, or the prior result was pruned).
+func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult, error) {
+	warm, src, err := q.warmSparsifier(entry, p.WarmJob)
+	if err != nil {
+		return nil, err
+	}
+	if warm == nil {
+		res, err := q.sparsify(q.ctx, entry.Graph, p)
+		if res != nil {
+			res.Incremental = true // requested, but cold: WarmSource stays ""
+		}
+		return res, err
+	}
+	res, err := q.incremental(q.ctx, entry.Graph, warm, p)
+	if res != nil {
+		res.Incremental = true
+		res.WarmSource = src
+	}
+	return res, err
+}
+
+// warmSparsifier picks the warm-start source: the named job when WarmJob
+// is set (an error if it is unknown or unfinished), otherwise the most
+// recently finished job for the same graph name that still holds a
+// sparsifier of the right vertex count. Returns nil when nothing usable
+// exists.
+func (q *Queue) warmSparsifier(entry *GraphEntry, warmJob string) (*graph.Graph, string, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if warmJob != "" {
+		j, ok := q.jobs[warmJob]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: warm_job %q", ErrJobNotFound, warmJob)
+		}
+		if j.GraphName != entry.Name {
+			// A sparsifier of an unrelated graph is not a warm start even
+			// when the vertex counts coincide; the name is the lineage that
+			// survives PATCH re-hashing.
+			return nil, "", fmt.Errorf("warm_job %q sparsified graph %q, not %q", warmJob, j.GraphName, entry.Name)
+		}
+		if j.Status != StatusDone || j.Result == nil || j.Result.Sparsifier == nil {
+			return nil, "", fmt.Errorf("%w: warm_job %q is %s", ErrJobUnfinished, warmJob, j.Status)
+		}
+		if j.Result.Sparsifier.N() != entry.Graph.N() {
+			return nil, "", fmt.Errorf("warm_job %q sparsifier has %d vertices, graph has %d",
+				warmJob, j.Result.Sparsifier.N(), entry.Graph.N())
+		}
+		return j.Result.Sparsifier, warmJob, nil
+	}
+	for i := len(q.order) - 1; i >= 0; i-- {
+		j := q.jobs[q.order[i]]
+		if j.GraphName != entry.Name || j.Status != StatusDone {
+			continue
+		}
+		if j.Result == nil || j.Result.Sparsifier == nil || j.Result.Sparsifier.N() != entry.Graph.N() {
+			continue
+		}
+		return j.Result.Sparsifier, j.ID, nil
+	}
+	return nil, "", nil
 }
 
 // finish moves a job to its terminal state and prunes old terminal jobs

@@ -16,6 +16,7 @@ import (
 	"math"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ var (
 	ErrGraphExists   = errors.New("service: graph name already registered")
 	ErrGraphNotFound = errors.New("service: graph not found")
 	ErrBadGraphName  = errors.New("service: invalid graph name")
+	ErrGraphChanged  = errors.New("service: graph was modified concurrently")
 )
 
 // nameRE restricts registry names to something safe for URL paths.
@@ -115,6 +117,41 @@ func (r *Registry) Get(name string) (*GraphEntry, error) {
 	return e, nil
 }
 
+// Update replaces the graph stored under name with a mutated version,
+// re-hashing the content address. prevHash makes the swap a compare-and-
+// set: the replacement only lands if the stored graph still has that
+// content hash, so two concurrent PATCHes cannot silently overwrite each
+// other — the loser gets ErrGraphChanged and re-applies its batch to the
+// winner's graph. CreatedAt is preserved so the entry's age reflects the
+// original registration, and Source records that the graph has been
+// patched.
+func (r *Registry) Update(name, prevHash string, g *graph.Graph) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	if prev.Hash != prevHash {
+		return nil, fmt.Errorf("%w: %q", ErrGraphChanged, name)
+	}
+	source := prev.Source
+	if !strings.HasSuffix(source, "+patched") {
+		source += "+patched"
+	}
+	e := &GraphEntry{
+		Name:      name,
+		Hash:      HashGraph(g),
+		Source:    source,
+		N:         g.N(),
+		M:         g.M(),
+		CreatedAt: prev.CreatedAt,
+		Graph:     g,
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
 // Delete removes a graph by name.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
@@ -136,6 +173,22 @@ func (r *Registry) List() []*GraphEntry {
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// HasHash reports whether any registered graph currently has this
+// content hash. The job queue gates cache writes on it so a job that
+// finishes after its graph was PATCHed (re-hashed) does not re-insert a
+// result under the dead hash that InvalidateGraph already swept. O(n)
+// over the registry, which holds few graphs relative to job volume.
+func (r *Registry) HasHash(hash string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if e.Hash == hash {
+			return true
+		}
+	}
+	return false
 }
 
 // Len reports the number of registered graphs.

@@ -1,0 +1,43 @@
+package testkit
+
+import (
+	"errors"
+	"testing"
+
+	"graphspar/internal/dynamic"
+	"graphspar/internal/vecmath"
+)
+
+func TestCasesBuildConnected(t *testing.T) {
+	for _, c := range Cases() {
+		g, err := c.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s: case graphs must be connected", c.Name)
+		}
+	}
+}
+
+func TestRandomBatchIsValidAndDeterministic(t *testing.T) {
+	g, err := Cases()[0].Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomBatch(g, vecmath.NewRNG(9), 5)
+	b := RandomBatch(g, vecmath.NewRNG(9), 5)
+	if len(a) != len(b) {
+		t.Fatalf("determinism: %d vs %d updates", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism: update %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Every generated batch must be either applicable or rejected for
+	// connectivity only — never for validation reasons.
+	if _, err := dynamic.ApplyToGraph(g, a); err != nil && !errors.Is(err, dynamic.ErrWouldDisconnect) {
+		t.Fatalf("generated batch invalid: %v", err)
+	}
+}
