@@ -60,9 +60,11 @@ func main() {
 		return v
 	}
 	srv := service.NewServer(service.Config{
-		Workers:   *workers,
-		Backlog:   disableZero(*backlog),
-		CacheSize: disableZero(*cache),
+		Workers:     *workers,
+		Backlog:     disableZero(*backlog),
+		CacheSize:   disableZero(*cache),
+		Sparsify:    runSparsify,
+		Incremental: runIncremental,
 	})
 	for _, p := range pre {
 		name, spec, _ := strings.Cut(p, "=")

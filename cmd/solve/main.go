@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -16,8 +17,7 @@ import (
 	"strings"
 	"time"
 
-	"graphspar/internal/cli"
-	"graphspar/internal/core"
+	"graphspar"
 	"graphspar/internal/mm"
 	"graphspar/internal/pcg"
 	"graphspar/internal/sddm"
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		spec    = flag.String("graph", "", cli.SpecHelp)
+		spec    = flag.String("graph", "", graphspar.SpecHelp)
 		sigmaSq = flag.Float64("sigma2", 50, "sparsifier similarity target σ²")
 		tol     = flag.Float64("tol", 1e-3, "relative residual target")
 		seed    = flag.Uint64("seed", 1, "random seed (graph + RHS)")
@@ -43,7 +43,7 @@ func main() {
 		return
 	}
 
-	g, err := cli.LoadGraph(*spec, *seed)
+	g, err := graphspar.LoadGraph(*spec, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,9 +54,13 @@ func main() {
 	vecmath.NewRNG(*seed + 1).FillNormal(b)
 	vecmath.Deflate(b)
 
+	sp, err := graphspar.New(graphspar.WithSigma2(*sigmaSq), graphspar.WithSeed(*seed), graphspar.WithShards(1))
+	if err != nil {
+		fatal(err)
+	}
 	t0 := time.Now()
-	res, err := core.Sparsify(g, core.Options{SigmaSq: *sigmaSq, Seed: *seed})
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	res, err := sp.Run(context.Background(), g)
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		fatal(err)
 	}
 	tSpar := time.Since(t0)

@@ -1,5 +1,7 @@
 // Command sparsify computes a similarity-aware spectral sparsifier of a
-// graph and reports the similarity trace of the densification loop.
+// graph and reports the similarity trace of the densification loop. It is
+// a thin shell over the public graphspar package — every flag maps to one
+// facade option.
 //
 // Usage:
 //
@@ -23,24 +25,18 @@ import (
 	"os"
 	"time"
 
-	"graphspar/internal/cli"
-	"graphspar/internal/core"
-	"graphspar/internal/dynamic"
-	"graphspar/internal/engine"
-	"graphspar/internal/graph"
-	"graphspar/internal/lsst"
-	"graphspar/internal/partition"
+	"graphspar"
 )
 
 func main() {
 	var (
-		spec      = flag.String("graph", "", cli.SpecHelp)
+		spec      = flag.String("graph", "", graphspar.SpecHelp)
 		sigmaSq   = flag.Float64("sigma2", 100, "target spectral similarity σ² (relative condition number bound)")
 		out       = flag.String("out", "", "optional output .mtx path for the sparsifier Laplacian")
 		treeAlg   = flag.String("tree", "maxweight", "backbone tree: maxweight | dijkstra | akpw")
 		tSteps    = flag.Int("t", 2, "generalized power iteration steps for edge embedding")
 		rVecs     = flag.Int("r", 0, "random probe vectors (0 = O(log n))")
-		shards    = flag.Int("shards", 1, "k-way shards for the parallel engine (1 = single-shot)")
+		shards    = flag.Int("shards", 1, "k-way shards for the parallel engine (1 = single-shot, 0 = auto by graph size)")
 		workers   = flag.Int("workers", 0, "concurrent shard sparsifications (0 = all cores)")
 		partAlg   = flag.String("partition", "bfs", "engine bisector: bfs | direct | iterative | sparsifier-only")
 		embedWork = flag.Int("embed-workers", 0, "goroutines for the probe-vector solves (0 = sequential; any value is bit-identical)")
@@ -50,98 +46,100 @@ func main() {
 	)
 	flag.Parse()
 
-	alg, err := lsst.Parse(*treeAlg)
+	alg, err := graphspar.ParseTreeAlgorithm(*treeAlg)
 	if err != nil {
 		fatal(err)
 	}
-	g, err := cli.LoadGraph(*spec, *seed)
+	method, err := graphspar.ParsePartitionMethod(*partAlg)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graphspar.LoadGraph(*spec, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("input: |V|=%d |E|=%d\n", g.N(), g.M())
 
-	opts := core.Options{
-		SigmaSq: *sigmaSq, T: *tSteps, NumVectors: *rVecs,
-		TreeAlg: alg, Seed: *seed, EmbedWorkers: *embedWork,
+	opts := []graphspar.Option{
+		graphspar.WithSigma2(*sigmaSq),
+		graphspar.WithEmbedSteps(*tSteps),
+		graphspar.WithProbeVectors(*rVecs),
+		graphspar.WithTreeAlgorithm(alg),
+		graphspar.WithSeed(*seed),
+		graphspar.WithEmbedWorkers(*embedWork),
+		graphspar.WithShards(*shards),
+		graphspar.WithWorkers(*workers),
 	}
-	if *stream != "" {
-		runUpdateStream(g, opts, *stream, *shards, *workers, *out)
-		return
+	if *shards != 1 {
+		opts = append(opts, graphspar.WithPartition(method))
 	}
-	if *shards > 1 {
-		runSharded(g, opts, *shards, *workers, *partAlg, *seed, *verbose, *out)
-		return
-	}
-
-	t0 := time.Now()
-	res, err := core.Sparsify(g, opts)
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	s, err := graphspar.New(opts...)
+	if err != nil {
 		fatal(err)
 	}
-	dur := time.Since(t0)
 
-	fmt.Printf("sparsifier: |Es|=%d  density |Es|/|V| = %.3f  (%.1fx edge reduction)\n",
-		res.Sparsifier.M(), res.Density(), float64(g.M())/float64(res.Sparsifier.M()))
-	fmt.Printf("similarity: λmax=%.3f λmin=%.3f  σ² achieved=%.1f (target %.1f)\n",
-		res.LambdaMax, res.LambdaMin, res.SigmaSqAchieved, *sigmaSq)
-	fmt.Printf("backbone: %s tree, total stretch %.3e\n", alg, res.TotalStretch)
-	fmt.Printf("time: %s in %d densification rounds\n", dur.Round(time.Millisecond), len(res.Rounds))
-	if errors.Is(err, core.ErrNoTarget) {
-		fmt.Println("warning: similarity target not reached within round budget")
+	if *stream != "" {
+		runUpdateStream(g, s, *stream, *out)
+		return
 	}
-	if *verbose {
-		printRounds(res.Rounds)
+
+	res, err := s.Run(context.Background(), g)
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
+		fatal(err)
+	}
+	report(g, res, alg, method, *sigmaSq, *verbose)
+	if errors.Is(err, graphspar.ErrNoTarget) {
+		fmt.Println("warning: similarity target not reached within round budget")
 	}
 	save(*out, res.Sparsifier)
 }
 
-// runSharded drives the shard-parallel engine and reports its phases.
-func runSharded(g *graph.Graph, opts core.Options, shards, workers int, partAlg string, seed uint64, verbose bool, out string) {
-	method, err := partition.ParseMethod(partAlg)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := engine.Run(context.Background(), g, engine.Options{
-		Shards:    shards,
-		Workers:   workers,
-		Sparsify:  opts,
-		Partition: &partition.Options{Method: method, SigmaSq: opts.SigmaSq, Seed: seed},
-		Seed:      seed,
-	})
-	if err != nil {
-		fatal(err)
-	}
+// report prints the unified Result, with the extra sharding phases when
+// the engine ran.
+func report(g *graphspar.Graph, res *graphspar.Result, alg graphspar.TreeAlgorithm, method graphspar.PartitionMethod, sigmaSq float64, verbose bool) {
 	fmt.Printf("sparsifier: |Es|=%d  density |Es|/|V| = %.3f  (%.1fx edge reduction)\n",
 		res.Sparsifier.M(), res.Density(), float64(g.M())/float64(res.Sparsifier.M()))
+	if !res.Sharded {
+		fmt.Printf("similarity: λmax=%.3f λmin=%.3f  σ² achieved=%.1f (target %.1f)\n",
+			res.LambdaMax, res.LambdaMin, res.SigmaSqAchieved, sigmaSq)
+		fmt.Printf("backbone: %s tree, total stretch %.3e\n", alg, res.TotalStretch)
+		fmt.Printf("time: %s in %d densification rounds\n",
+			res.Timings.Sparsify.Round(time.Millisecond), len(res.Rounds))
+		if verbose {
+			printRounds(res.Rounds)
+		}
+		return
+	}
 	fmt.Printf("sharding: %d parts (%s bisector), cut=%d edges (%d stitched, %d recovered)\n",
 		res.Parts, method, res.CutEdges, res.StitchedCut, res.RecoveredCut)
 	fmt.Printf("similarity: σ² estimate=%.1f, verified κ=%.1f (target %.1f, met=%v)\n",
-		res.SigmaSqEst, res.VerifiedCond, opts.SigmaSq, res.TargetMet)
+		res.SigmaSqAchieved, res.VerifiedCond, sigmaSq, res.TargetMet)
 	fmt.Printf("time: %s total  (partition %s, shards %s wall / %s cpu = %.2fx parallel, stitch %s, verify %s)\n",
-		res.WallTime.Round(time.Millisecond),
-		res.PartitionTime.Round(time.Millisecond),
-		res.ShardWall.Round(time.Millisecond), res.ShardCPU.Round(time.Millisecond), res.Speedup(),
-		res.StitchTime.Round(time.Millisecond), res.VerifyTime.Round(time.Millisecond))
+		res.Timings.Wall.Round(time.Millisecond),
+		res.Timings.Partition.Round(time.Millisecond),
+		res.Timings.Shard.Round(time.Millisecond), res.Timings.ShardCPU.Round(time.Millisecond), res.Speedup(),
+		res.Timings.Stitch.Round(time.Millisecond), res.Timings.Verify.Round(time.Millisecond))
 	if verbose {
-		for _, s := range res.Shards {
+		for _, sh := range res.Shards {
 			fmt.Printf("shard %d: |V|=%d |E|=%d kept=%d σ²=%.1f met=%v in %s\n",
-				s.Shard, s.Vertices, s.Edges, s.Kept, s.SigmaSqAchieved, s.TargetMet,
-				s.Duration.Round(time.Millisecond))
-			printRounds(s.Rounds)
+				sh.Shard, sh.Vertices, sh.Edges, sh.Kept, sh.SigmaSqAchieved, sh.TargetMet,
+				sh.Duration.Round(time.Millisecond))
+			printRounds(sh.Rounds)
 		}
 	}
-	save(out, res.Sparsifier)
 }
 
-// runUpdateStream replays an edge-event file through the incremental
-// maintainer and compares the cumulative incremental cost against one
-// from-scratch re-sparsification of the final graph.
-func runUpdateStream(g *graph.Graph, opts core.Options, path string, shards, workers int, out string) {
+// runUpdateStream replays an edge-event file through a maintenance Stream
+// and compares the cumulative incremental cost against one from-scratch
+// re-sparsification of the final graph. Both the stream's rebuilds and
+// the final reference run go through the same facade Sparsifier, so
+// -shards/-workers/-partition apply uniformly.
+func runUpdateStream(g *graphspar.Graph, s *graphspar.Sparsifier, path, out string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
-	batches, err := dynamic.ParseEvents(f)
+	batches, err := graphspar.ParseEvents(f)
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -151,26 +149,22 @@ func runUpdateStream(g *graph.Graph, opts core.Options, path string, shards, wor
 	}
 
 	t0 := time.Now()
-	m, err := dynamic.New(context.Background(), g, dynamic.Options{
-		Sparsify:       opts,
-		RebuildShards:  shards,
-		RebuildWorkers: workers,
-	})
+	st, err := s.Maintain(context.Background(), g)
 	if err != nil {
 		fatal(err)
 	}
 	buildDur := time.Since(t0)
 	fmt.Printf("initial sparsifier: |Es|=%d  κ=%.1f (target %.1f) in %s\n",
-		m.Sparsifier().M(), m.Cond(), opts.SigmaSq, buildDur.Round(time.Millisecond))
+		st.Sparsifier().M(), st.Cond(), s.Sigma2(), buildDur.Round(time.Millisecond))
 
 	var incDur time.Duration
 	applied, rejected := 0, 0
 	for i, batch := range batches {
 		tb := time.Now()
-		err := m.Apply(context.Background(), batch)
+		err := st.Apply(context.Background(), batch)
 		d := time.Since(tb)
 		incDur += d
-		if errors.Is(err, dynamic.ErrWouldDisconnect) {
+		if errors.Is(err, graphspar.ErrWouldDisconnect) {
 			rejected++
 			fmt.Printf("batch %3d: %3d updates REJECTED (would disconnect) in %s\n", i+1, len(batch), d.Round(time.Microsecond))
 			continue
@@ -180,31 +174,33 @@ func runUpdateStream(g *graph.Graph, opts core.Options, path string, shards, wor
 		}
 		applied++
 		fmt.Printf("batch %3d: %3d updates  |E|=%d |Es|=%d  κ=%.1f  %s\n",
-			i+1, len(batch), m.Graph().M(), m.Sparsifier().M(), m.Cond(), d.Round(time.Microsecond))
+			i+1, len(batch), st.Graph().M(), st.Sparsifier().M(), st.Cond(), d.Round(time.Microsecond))
 	}
-	st := m.Stats()
+	stats := st.Stats()
 	fmt.Printf("stream: %d batches applied, %d rejected; %d inserts admitted, %d tree repairs, %d refilter rounds, %d rebuilds\n",
-		applied, rejected, st.InsertsAdmitted, st.TreeRepairs, st.Refilters, st.Rebuilds)
-	if !m.TargetMet() {
-		fmt.Printf("warning: final certificate κ=%.1f exceeds the σ² target %.1f (best effort)\n", m.Cond(), opts.SigmaSq)
+		applied, rejected, stats.InsertsAdmitted, stats.TreeRepairs, stats.Refilters, stats.Rebuilds)
+	if !st.TargetMet() {
+		fmt.Printf("warning: final certificate κ=%.1f exceeds the σ² target %.1f (best effort)\n", st.Cond(), s.Sigma2())
 	}
 	fmt.Printf("incremental time: %s total (%s/batch)\n",
 		incDur.Round(time.Millisecond), (incDur / time.Duration(len(batches))).Round(time.Microsecond))
 
-	// Reference: one from-scratch sparsification of the final graph.
+	// Reference: one from-scratch sparsification of the final graph,
+	// through the same facade configuration (so sharding flags apply here
+	// exactly as they did to the stream's rebuilds).
 	tf := time.Now()
-	res, err := core.Sparsify(m.Graph(), opts)
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	res, err := s.Run(context.Background(), st.Graph())
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		fatal(err)
 	}
 	fullDur := time.Since(tf)
 	perBatch := incDur / time.Duration(len(batches))
 	fmt.Printf("full re-sparsify of final graph: |Es|=%d in %s  (%.1fx the per-batch incremental cost)\n",
 		res.Sparsifier.M(), fullDur.Round(time.Millisecond), float64(fullDur)/float64(perBatch))
-	save(out, m.Sparsifier())
+	save(out, st.Sparsifier())
 }
 
-func printRounds(rounds []core.RoundStats) {
+func printRounds(rounds []graphspar.RoundStats) {
 	fmt.Println("round  λmax     λmin   σ²est   θσ         cand  added  |Es|")
 	for _, r := range rounds {
 		fmt.Printf("%5d  %7.2f  %5.3f  %6.1f  %9.3e  %4d  %5d  %d\n",
@@ -212,11 +208,11 @@ func printRounds(rounds []core.RoundStats) {
 	}
 }
 
-func save(out string, g *graph.Graph) {
+func save(out string, g *graphspar.Graph) {
 	if out == "" {
 		return
 	}
-	if err := cli.SaveGraph(out, g); err != nil {
+	if err := graphspar.SaveGraph(out, g); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", out)

@@ -5,31 +5,28 @@ import (
 	"path/filepath"
 	"testing"
 
-	"graphspar/internal/cli"
-	"graphspar/internal/core"
-	"graphspar/internal/lsst"
+	"graphspar"
 )
 
 func TestParseTree(t *testing.T) {
-	cases := map[string]lsst.Algorithm{
-		"maxweight": lsst.MaxWeight,
-		"dijkstra":  lsst.Dijkstra,
-		"akpw":      lsst.AKPW,
+	cases := map[string]graphspar.TreeAlgorithm{
+		"maxweight": graphspar.TreeMaxWeight,
+		"dijkstra":  graphspar.TreeDijkstra,
+		"akpw":      graphspar.TreeAKPW,
 	}
 	for s, want := range cases {
-		got, err := lsst.Parse(s)
+		got, err := graphspar.ParseTreeAlgorithm(s)
 		if err != nil || got != want {
-			t.Fatalf("lsst.Parse(%q) = %v, %v", s, got, err)
+			t.Fatalf("ParseTreeAlgorithm(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := lsst.Parse("bogus"); err == nil {
+	if _, err := graphspar.ParseTreeAlgorithm("bogus"); err == nil {
 		t.Fatal("bogus algorithm should fail")
 	}
 }
 
 // TestRunUpdateStream drives the -update-stream path end to end on a
-// small grid: replayed batches, one rejected bridge delete is impossible
-// on a grid, final sparsifier written out.
+// small grid: replayed batches, final sparsifier written out.
 func TestRunUpdateStream(t *testing.T) {
 	dir := t.TempDir()
 	events := filepath.Join(dir, "events.txt")
@@ -37,18 +34,57 @@ func TestRunUpdateStream(t *testing.T) {
 		"+ 0 63 1.5\ncommit\n= 0 1 2.5\n- 62 63\ncommit\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := cli.LoadGraph("grid:8x8:uniform", 1)
+	g, err := graphspar.LoadGraph("grid:8x8:uniform", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := graphspar.New(graphspar.WithSigma2(60), graphspar.WithSeed(1), graphspar.WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "sparsifier.mtx")
-	runUpdateStream(g, core.Options{SigmaSq: 60, Seed: 1}, events, 0, 0, out)
-	g2, err := cli.LoadGraph(out, 1)
+	runUpdateStream(g, s, events, out)
+	g2, err := graphspar.LoadGraph(out, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g2.N() != g.N() {
 		t.Fatalf("output sparsifier has %d vertices, want %d", g2.N(), g.N())
+	}
+	if !g2.IsConnected() {
+		t.Fatal("output sparsifier must be connected")
+	}
+}
+
+// TestRunUpdateStreamSharded pins the satellite fix: with a sharded
+// facade, the -update-stream path (rebuilds and the final reference
+// re-sparsify) must run through the engine without error, honoring the
+// sharding flags instead of silently ignoring them.
+func TestRunUpdateStreamSharded(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.txt")
+	if err := os.WriteFile(events, []byte("+ 0 99 1.5\ncommit\n- 0 1\ncommit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphspar.LoadGraph("grid:10x10:uniform", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := graphspar.New(
+		graphspar.WithSigma2(60),
+		graphspar.WithSeed(1),
+		graphspar.WithShards(2),
+		graphspar.WithWorkers(2),
+		graphspar.WithPartition(graphspar.PartitionBFS),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "sparsifier.mtx")
+	runUpdateStream(g, s, events, out)
+	g2, err := graphspar.LoadGraph(out, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if !g2.IsConnected() {
 		t.Fatal("output sparsifier must be connected")

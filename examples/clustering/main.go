@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -13,9 +14,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"graphspar"
 	"graphspar/internal/cholesky"
 	"graphspar/internal/cluster"
-	"graphspar/internal/core"
 	"graphspar/internal/gen"
 	"graphspar/internal/pcg"
 )
@@ -49,8 +50,12 @@ func main() {
 
 	for _, s2 := range []float64{5, 20, 100} {
 		t1 := time.Now()
-		sp, err := core.Sparsify(g, core.Options{SigmaSq: s2, Seed: 3})
-		if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		spar, err := graphspar.New(graphspar.WithSigma2(s2), graphspar.WithSeed(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := spar.Run(context.Background(), g)
+		if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 			log.Fatal(err)
 		}
 		chol, err := pcg.NewCholPrecond(sp.Sparsifier)

@@ -2,7 +2,8 @@
 // sparsifier's σ² certificate valid under a stream of edge insertions,
 // deletions and reweights — without re-running the pipeline per batch.
 // Compares the incremental per-batch cost against a from-scratch
-// re-sparsification at the end.
+// re-sparsification at the end. Everything runs through the public
+// graphspar facade: Maintain returns the live Stream, Run the reference.
 package main
 
 import (
@@ -12,10 +13,7 @@ import (
 	"log"
 	"time"
 
-	"graphspar/internal/core"
-	"graphspar/internal/dynamic"
-	"graphspar/internal/gen"
-	"graphspar/internal/graph"
+	"graphspar"
 	"graphspar/internal/vecmath"
 )
 
@@ -25,9 +23,9 @@ import (
 // of testkit.RandomBatch — the testkit package depends on the testing
 // framework, which a runnable example should not link. Attempts are
 // bounded so a near-complete graph cannot stall the insert branch.
-func randomBatch(g *graph.Graph, rng *vecmath.RNG, size int) []dynamic.Update {
+func randomBatch(g *graphspar.Graph, rng *vecmath.RNG, size int) []graphspar.Update {
 	used := make(map[[2]int]bool, size)
-	var batch []dynamic.Update
+	var batch []graphspar.Update
 	for tries := 0; len(batch) < size && tries < 64*size; tries++ {
 		switch r := rng.Float64(); {
 		case r < 0.4:
@@ -42,21 +40,21 @@ func randomBatch(g *graph.Graph, rng *vecmath.RNG, size int) []dynamic.Update {
 				continue
 			}
 			used[[2]int{u, v}] = true
-			batch = append(batch, dynamic.Insert(u, v, 0.25+1.5*rng.Float64()))
+			batch = append(batch, graphspar.Insert(u, v, 0.25+1.5*rng.Float64()))
 		case r < 0.7:
 			e := g.Edge(rng.Intn(g.M()))
 			if used[[2]int{e.U, e.V}] {
 				continue
 			}
 			used[[2]int{e.U, e.V}] = true
-			batch = append(batch, dynamic.Reweight(e.U, e.V, e.W*(0.5+rng.Float64())))
+			batch = append(batch, graphspar.Reweight(e.U, e.V, e.W*(0.5+rng.Float64())))
 		default:
 			e := g.Edge(rng.Intn(g.M()))
 			if used[[2]int{e.U, e.V}] {
 				continue
 			}
 			used[[2]int{e.U, e.V}] = true
-			batch = append(batch, dynamic.Delete(e.U, e.V))
+			batch = append(batch, graphspar.Delete(e.U, e.V))
 		}
 	}
 	return batch
@@ -65,24 +63,26 @@ func randomBatch(g *graph.Graph, rng *vecmath.RNG, size int) []dynamic.Update {
 func main() {
 	// 1. A workload: a power-grid-style mesh whose topology evolves
 	// (line additions, outages, conductance changes).
-	g, err := gen.Grid2D(60, 60, gen.UniformWeights, 42)
+	g, err := graphspar.LoadGraph("grid:60x60:uniform", 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 
-	// 2. Build the maintainer: one full sparsification plus the retained
+	// 2. Build the stream: one full sparsification plus the retained
 	// probe embedding that later batches are scored against.
 	const sigmaSq = 80
+	s, err := graphspar.New(graphspar.WithSigma2(sigmaSq), graphspar.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
-	m, err := dynamic.New(context.Background(), g, dynamic.Options{
-		Sparsify: core.Options{SigmaSq: sigmaSq, Seed: 42},
-	})
+	st, err := s.Maintain(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("initial sparsifier: %d edges, verified κ = %.1f (target %d) in %s\n",
-		m.Sparsifier().M(), m.Cond(), sigmaSq, time.Since(t0).Round(time.Millisecond))
+		st.Sparsifier().M(), st.Cond(), sigmaSq, time.Since(t0).Round(time.Millisecond))
 
 	// 3. Replay a random update stream in small batches. After every
 	// accepted batch the certificate is re-verified; deletes that would
@@ -91,12 +91,12 @@ func main() {
 	var incremental time.Duration
 	applied, rejected := 0, 0
 	for i := 0; i < 20; i++ {
-		batch := randomBatch(m.Graph(), rng, 4)
+		batch := randomBatch(st.Graph(), rng, 4)
 		tb := time.Now()
-		err := m.Apply(context.Background(), batch)
+		err := st.Apply(context.Background(), batch)
 		incremental += time.Since(tb)
 		switch {
-		case errors.Is(err, dynamic.ErrWouldDisconnect):
+		case errors.Is(err, graphspar.ErrWouldDisconnect):
 			rejected++
 			continue
 		case err != nil:
@@ -104,18 +104,18 @@ func main() {
 		}
 		applied++
 	}
-	st := m.Stats()
+	stats := st.Stats()
 	fmt.Printf("stream: %d batches applied, %d rejected; %d inserts admitted, %d tree repairs, %d refilter rounds, %d rebuilds\n",
-		applied, rejected, st.InsertsAdmitted, st.TreeRepairs, st.Refilters, st.Rebuilds)
+		applied, rejected, stats.InsertsAdmitted, stats.TreeRepairs, stats.Refilters, stats.Rebuilds)
 	fmt.Printf("after stream: %d graph edges, %d sparsifier edges, verified κ = %.1f\n",
-		m.Graph().M(), m.Sparsifier().M(), m.Cond())
+		st.Graph().M(), st.Sparsifier().M(), st.Cond())
 	perBatch := incremental / 20
 	fmt.Printf("incremental cost: %s/batch\n", perBatch.Round(time.Microsecond))
 
 	// 4. The alternative: re-sparsifying the final graph from scratch.
 	tf := time.Now()
-	res, err := core.Sparsify(m.Graph(), core.Options{SigmaSq: sigmaSq, Seed: 42})
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	res, err := s.Run(context.Background(), st.Graph())
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		log.Fatal(err)
 	}
 	full := time.Since(tf)

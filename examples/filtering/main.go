@@ -5,25 +5,24 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
+	"graphspar"
 	"graphspar/internal/cholesky"
-	"graphspar/internal/core"
-	"graphspar/internal/gen"
 	"graphspar/internal/gsp"
-	"graphspar/internal/lsst"
 	"graphspar/internal/vecmath"
 )
 
 func main() {
 	// --- Fig. 2: heat spectrum with similarity-aware thresholds.
-	g, err := gen.Grid2D(80, 80, gen.UniformWeights, 17)
+	g, err := graphspar.LoadGraph("grid:80x80:uniform", 17)
 	if err != nil {
 		log.Fatal(err)
 	}
-	norm, ths, err := core.HeatSpectrum(g, 1, 0, []float64{100, 500}, lsst.MaxWeight, 5)
+	norm, ths, err := graphspar.HeatSpectrum(g, 1, 0, []float64{100, 500}, graphspar.TreeMaxWeight, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,8 +39,12 @@ func main() {
 	}
 
 	// --- §3.4: the sparsifier behaves as a low-pass filter.
-	res, err := core.Sparsify(g, core.Options{SigmaSq: 20, Seed: 5})
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	s20, err := graphspar.New(graphspar.WithSigma2(20), graphspar.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s20.Run(context.Background(), g)
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		log.Fatal(err)
 	}
 	s := make([]float64, g.N())
@@ -50,7 +53,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	relTree, err := gsp.FilterAgreement(g, res.Tree.Graph(), s, 10)
+	tree, err := g.SubgraphEdges(res.TreeEdgeIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relTree, err := gsp.FilterAgreement(g, tree, s, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,12 +65,16 @@ func main() {
 	fmt.Printf("  σ²=20 sparsifier: %.3f   bare spanning tree: %.3f\n", rel, relTree)
 
 	// --- Fig. 1: spectral drawings stay aligned.
-	air, _, err := gen.Annulus(12, 40, gen.UnitWeights, 3)
+	air, err := graphspar.LoadGraph("annulus:12x40", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ares, err := core.Sparsify(air, core.Options{SigmaSq: 20, Seed: 3})
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	s3, err := graphspar.New(graphspar.WithSigma2(20), graphspar.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ares, err := s3.Run(context.Background(), air)
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		log.Fatal(err)
 	}
 	lsG, err := cholesky.NewLapSolver(air)

@@ -4,15 +4,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"graphspar/internal/core"
+	"graphspar"
 	"graphspar/internal/eig"
 	"graphspar/internal/gen"
-	"graphspar/internal/graph"
 	"graphspar/internal/pcg"
 )
 
@@ -27,17 +27,21 @@ func main() {
 	}
 	for _, c := range []struct {
 		name string
-		g    *graph.Graph
+		g    *graphspar.Graph
 	}{{"coAuthorsDBLP-proxy", coauth}, {"appu-proxy (dense random)", dense}} {
 		run(c.name, c.g)
 	}
 }
 
-func run(name string, g *graph.Graph) {
+func run(name string, g *graphspar.Graph) {
 	fmt.Printf("%s: |V|=%d |E|=%d\n", name, g.N(), g.M())
+	s, err := graphspar.New(graphspar.WithSigma2(100), graphspar.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
-	res, err := core.Sparsify(g, core.Options{SigmaSq: 100, Seed: 3})
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	res, err := s.Run(context.Background(), g)
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		log.Fatal(err)
 	}
 	fmt.Printf("  sparsified in %s: %d edges (%.1fx reduction), σ²=%.1f\n",

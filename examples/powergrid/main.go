@@ -7,13 +7,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"math"
 	"time"
 
-	"graphspar/internal/core"
+	"graphspar"
 	"graphspar/internal/gen"
 	"graphspar/internal/pcg"
 	"graphspar/internal/vecmath"
@@ -33,9 +34,13 @@ func main() {
 	fmt.Printf("PDN: %d layers of %dx%d, |V|=%d |E|=%d\n", layers, rows, cols, n, g.M())
 
 	// Sparsify once.
+	s, err := graphspar.New(graphspar.WithSigma2(sigmaSq), graphspar.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 := time.Now()
-	res, err := core.Sparsify(g, core.Options{SigmaSq: sigmaSq, Seed: 7})
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+	res, err := s.Run(context.Background(), g)
+	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 		log.Fatal(err)
 	}
 	m, err := pcg.NewCholPrecond(res.Sparsifier)

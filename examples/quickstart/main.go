@@ -1,28 +1,33 @@
-// Quickstart: sparsify a graph to a guaranteed spectral similarity and use
-// the result as a PCG preconditioner — the end-to-end tour of the
-// graphspar API in ~60 lines.
+// Quickstart: sparsify a graph to a guaranteed spectral similarity with
+// the public graphspar API and use the result as a PCG preconditioner —
+// the end-to-end tour in ~60 lines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"graphspar/internal/core"
-	"graphspar/internal/gen"
+	"graphspar"
 	"graphspar/internal/pcg"
 	"graphspar/internal/vecmath"
 )
 
 func main() {
 	// 1. A workload: a 2D circuit-style grid with random conductances.
-	g, err := gen.Grid2D(120, 120, gen.UniformWeights, 42)
+	// LoadGraph accepts a generator spec or a MatrixMarket file path.
+	g, err := graphspar.LoadGraph("grid:120x120:uniform", 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 
 	// 2. Sparsify with a guaranteed relative condition number σ² ≤ 100.
-	res, err := core.Sparsify(g, core.Options{SigmaSq: 100, Seed: 42})
+	s, err := graphspar.New(graphspar.WithSigma2(100), graphspar.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +36,9 @@ func main() {
 	fmt.Printf("backbone tree stretch: %.3e; off-tree edges recovered: %d\n",
 		res.TotalStretch, len(res.OffTreeAddedIDs))
 
-	// 3. Solve L_G x = b with the sparsifier as preconditioner.
+	// 3. Solve L_G x = b with the sparsifier as preconditioner. (The PCG
+	// solver layer is not part of the facade; any solver that accepts a
+	// graph Laplacian works with Result.Sparsifier.)
 	precond, err := pcg.NewCholPrecond(res.Sparsifier)
 	if err != nil {
 		log.Fatal(err)

@@ -4,22 +4,21 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"text/tabwriter"
 	"time"
 
-	"os"
-
-	"graphspar/internal/core"
-	"graphspar/internal/gen"
+	"graphspar"
 	"graphspar/internal/pcg"
 	"graphspar/internal/vecmath"
 )
 
 func main() {
-	g, err := gen.Grid2D(150, 150, gen.UniformWeights, 11)
+	g, err := graphspar.LoadGraph("grid:150x150:uniform", 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,9 +32,13 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "σ² target\tσ² achieved\t|Es|/|V|\tsparsify\tPCG iters\tsolve time")
 	for _, s2 := range []float64{25, 50, 100, 200, 400} {
+		s, err := graphspar.New(graphspar.WithSigma2(s2), graphspar.WithSeed(5))
+		if err != nil {
+			log.Fatal(err)
+		}
 		t0 := time.Now()
-		res, err := core.Sparsify(g, core.Options{SigmaSq: s2, Seed: 5})
-		if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		res, err := s.Run(context.Background(), g)
+		if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
 			log.Fatal(err)
 		}
 		tSpar := time.Since(t0)

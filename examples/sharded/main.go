@@ -1,6 +1,6 @@
-// Sharded: sparsify a large mesh shard-parallel with internal/engine and
-// compare the phases against what a single-shot run would cost — the
-// quickstart for scaling sparsification with cores.
+// Sharded: sparsify a large mesh shard-parallel through the graphspar
+// facade and compare the phases against what a single-shot run would
+// cost — the quickstart for scaling sparsification with cores.
 package main
 
 import (
@@ -9,53 +9,55 @@ import (
 	"log"
 	"time"
 
-	"graphspar/internal/core"
-	"graphspar/internal/engine"
-	"graphspar/internal/gen"
+	"graphspar"
 )
 
 func main() {
 	// A mesh-like workload: sharding shines on graphs with small balanced
 	// cuts (grids, meshes, circuits). See the README for when it hurts.
-	g, err := gen.Grid2D(192, 192, gen.UniformWeights, 7)
+	g, err := graphspar.LoadGraph("grid:192x192:uniform", 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 
-	// Single-shot reference.
-	t0 := time.Now()
-	single, err := core.Sparsify(g, core.Options{SigmaSq: 100, Seed: 7})
+	// Single-shot reference: WithShards(1) pins the plain pipeline.
+	single, err := graphspar.New(
+		graphspar.WithSigma2(100), graphspar.WithSeed(7), graphspar.WithShards(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	singleDur := time.Since(t0)
+	sres, err := single.Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("single-shot: %d edges, σ²=%.1f in %s\n",
-		single.Sparsifier.M(), single.SigmaSqAchieved, singleDur.Round(time.Millisecond))
+		sres.Sparsifier.M(), sres.SigmaSqAchieved, sres.Timings.Sparsify.Round(time.Millisecond))
 
 	// Shard-parallel: 4-way partition, concurrent shard sparsification,
 	// stitch + cut recovery, independent verification.
-	res, err := engine.Run(context.Background(), g, engine.Options{
-		Shards:   4,
-		Sparsify: core.Options{SigmaSq: 100},
-		Seed:     7,
-	})
+	sharded, err := graphspar.New(
+		graphspar.WithSigma2(100), graphspar.WithSeed(7), graphspar.WithShards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sharded.Run(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sharded:     %d edges, verified κ=%.1f in %s\n",
-		res.Sparsifier.M(), res.VerifiedCond, res.WallTime.Round(time.Millisecond))
+		res.Sparsifier.M(), res.VerifiedCond, res.Timings.Wall.Round(time.Millisecond))
 	fmt.Printf("  partition %s | shards %s wall (%s cpu, %.2fx parallel) | stitch %s | verify %s\n",
-		res.PartitionTime.Round(time.Millisecond),
-		res.ShardWall.Round(time.Millisecond), res.ShardCPU.Round(time.Millisecond), res.Speedup(),
-		res.StitchTime.Round(time.Millisecond), res.VerifyTime.Round(time.Millisecond))
+		res.Timings.Partition.Round(time.Millisecond),
+		res.Timings.Shard.Round(time.Millisecond), res.Timings.ShardCPU.Round(time.Millisecond), res.Speedup(),
+		res.Timings.Stitch.Round(time.Millisecond), res.Timings.Verify.Round(time.Millisecond))
 	fmt.Printf("  cut: %d edges crossed the partition, %d stitched for connectivity, %d recovered\n",
 		res.CutEdges, res.StitchedCut, res.RecoveredCut)
 	for _, s := range res.Shards {
 		fmt.Printf("  shard %d: %d/%d edges kept, σ²=%.1f, %d rounds, %s\n",
 			s.Shard, s.Kept, s.Edges, s.SigmaSqAchieved, len(s.Rounds), s.Duration.Round(time.Millisecond))
 	}
-	compute := res.WallTime - res.VerifyTime
+	compute := res.Timings.Wall - res.Timings.Verify
 	fmt.Printf("speedup vs single-shot (excluding verification): %.2fx\n",
-		float64(singleDur)/float64(compute))
+		float64(sres.Timings.Sparsify)/float64(compute))
 }

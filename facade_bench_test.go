@@ -1,0 +1,162 @@
+package graphspar_test
+
+// BenchmarkFacadeOverhead measures the cost of the graphspar facade's
+// dispatch layer against direct core.Sparsify / engine.Run calls on
+// grid256 (the repo's standard bench graph). The facade only assembles an
+// options struct and copies result fields, so the acceptance bar is
+// overhead < 1% of the underlying pipeline; the reported metrics make
+// that visible per run. When BENCH_FACADE_JSON names a path (the CI bench
+// step does), the metrics are published as a JSON artifact alongside the
+// existing bench outputs.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"graphspar"
+	"graphspar/internal/core"
+	"graphspar/internal/engine"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+)
+
+const facadeBenchSigma2 = 100
+
+var facadeBenchGraph struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+func benchGrid256(b *testing.B) *graph.Graph {
+	b.Helper()
+	facadeBenchGraph.once.Do(func() {
+		facadeBenchGraph.g, facadeBenchGraph.err = gen.Grid2D(256, 256, gen.UniformWeights, 1)
+	})
+	if facadeBenchGraph.err != nil {
+		b.Fatal(facadeBenchGraph.err)
+	}
+	return facadeBenchGraph.g
+}
+
+var (
+	facadeBenchMu      sync.Mutex
+	facadeBenchResults = map[string]any{}
+)
+
+func publishFacadeBench(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	facadeBenchMu.Lock()
+	defer facadeBenchMu.Unlock()
+	facadeBenchResults[name] = metrics
+	path := os.Getenv("BENCH_FACADE_JSON")
+	if path == "" {
+		return
+	}
+	out := map[string]any{
+		"benchmark": "BenchmarkFacadeOverhead",
+		"graph":     "grid256",
+		"sigma2":    facadeBenchSigma2,
+		"results":   facadeBenchResults,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFacadeOverhead(b *testing.B) {
+	b.Run("single-shot", func(b *testing.B) {
+		g := benchGrid256(b)
+		s, err := graphspar.New(
+			graphspar.WithSigma2(facadeBenchSigma2),
+			graphspar.WithSeed(1),
+			graphspar.WithShards(1),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var direct, facade time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := core.Sparsify(g, core.Options{SigmaSq: facadeBenchSigma2, Seed: 1}); err != nil &&
+				!errors.Is(err, core.ErrNoTarget) {
+				b.Fatal(err)
+			}
+			direct += time.Since(t0)
+
+			t1 := time.Now()
+			if _, err := s.Run(context.Background(), g); err != nil &&
+				!errors.Is(err, graphspar.ErrNoTarget) {
+				b.Fatal(err)
+			}
+			facade += time.Since(t1)
+		}
+		b.StopTimer()
+		reportOverhead(b, "single-shot", direct, facade)
+	})
+
+	b.Run("sharded-4", func(b *testing.B) {
+		g := benchGrid256(b)
+		s, err := graphspar.New(
+			graphspar.WithSigma2(facadeBenchSigma2),
+			graphspar.WithSeed(1),
+			graphspar.WithShards(4),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var direct, facade time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := engine.Run(context.Background(), g, engine.Options{
+				Shards:   4,
+				Sparsify: core.Options{SigmaSq: facadeBenchSigma2, Seed: 1},
+				Seed:     1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			direct += time.Since(t0)
+
+			t1 := time.Now()
+			if _, err := s.Run(context.Background(), g); err != nil &&
+				!errors.Is(err, graphspar.ErrNoTarget) {
+				b.Fatal(err)
+			}
+			facade += time.Since(t1)
+		}
+		b.StopTimer()
+		reportOverhead(b, "sharded-4", direct, facade)
+	})
+}
+
+// reportOverhead publishes direct vs facade wall time and the dispatch
+// overhead percentage ((facade - direct) / direct; negative values are
+// run-to-run noise and clamp to 0 in the pass/fail reading).
+func reportOverhead(b *testing.B, name string, direct, facade time.Duration) {
+	b.Helper()
+	if direct <= 0 {
+		return
+	}
+	directMs := float64(direct.Milliseconds()) / float64(b.N)
+	facadeMs := float64(facade.Milliseconds()) / float64(b.N)
+	overheadPct := 100 * (float64(facade) - float64(direct)) / float64(direct)
+	b.ReportMetric(directMs, "direct-ms")
+	b.ReportMetric(facadeMs, "facade-ms")
+	b.ReportMetric(overheadPct, "overhead-%")
+	publishFacadeBench(b, name, map[string]float64{
+		"direct-ms":  directMs,
+		"facade-ms":  facadeMs,
+		"overhead-%": overheadPct,
+	})
+}

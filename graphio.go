@@ -1,0 +1,46 @@
+package graphspar
+
+import (
+	"io"
+
+	"graphspar/internal/cli"
+	"graphspar/internal/graph"
+	"graphspar/internal/mm"
+)
+
+// Graph is a weighted undirected graph with a fixed vertex count and an
+// immutable edge list. All pipelines require it to be connected.
+type Graph = graph.Graph
+
+// Edge is one weighted undirected edge (U < V after normalization).
+type Edge = graph.Edge
+
+// NewGraph builds a graph on n vertices from an edge list, validating
+// endpoints, weights (> 0) and duplicates.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// SpecHelp describes the generator/file syntax LoadGraph accepts, for
+// tool usage strings.
+const SpecHelp = cli.SpecHelp
+
+// LoadGraph resolves a graph spec: a path to a MatrixMarket .mtx file, or
+// a generator expression such as "grid:200x200:uniform" (see SpecHelp for
+// the full list). The seed drives the generators' random choices.
+func LoadGraph(spec string, seed uint64) (*Graph, error) { return cli.LoadGraph(spec, seed) }
+
+// SaveGraph writes g to path as a symmetric Laplacian MatrixMarket file.
+func SaveGraph(path string, g *Graph) error { return cli.SaveGraph(path, g) }
+
+// ReadMatrixMarket parses a MatrixMarket stream (a symmetric Laplacian or
+// adjacency/edge-list matrix) into a graph.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	m, err := mm.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return m.ToGraph()
+}
+
+// WriteMatrixMarket writes g as a symmetric Laplacian MatrixMarket
+// stream (the inverse of ReadMatrixMarket).
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return mm.WriteGraph(w, g) }

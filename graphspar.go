@@ -1,0 +1,243 @@
+// Package graphspar is the public API of the similarity-aware spectral
+// sparsification toolkit (Feng, DAC 2018): given a weighted undirected
+// connected graph G and a similarity target σ², it computes an
+// ultra-sparse subgraph P whose relative condition number κ(L_G, L_P) is
+// at most σ², and can keep that certificate valid while the graph mutates.
+//
+// One Sparsifier value fronts all three execution paths of the
+// repository:
+//
+//   - single-shot edge filtering (spanning-tree backbone plus iterative
+//     Joule-heat recovery of off-tree edges),
+//   - the shard-parallel engine (k-way partition, concurrent per-shard
+//     sparsification, cut stitching with a global re-filter pass), and
+//   - incremental maintenance under edge insertions, deletions and
+//     reweights.
+//
+// Construct it once with functional options and reuse it across graphs:
+//
+//	s, err := graphspar.New(graphspar.WithSigma2(100), graphspar.WithSeed(7))
+//	res, err := s.Run(ctx, g)        // one-off sparsifier + certificate
+//	st, err := s.Maintain(ctx, g)    // live sparsifier for update batches
+//
+// Run picks the execution path automatically — single-shot for small
+// graphs, the sharded engine beyond AutoShardEdges edges — unless
+// WithShards pins it. Results are deterministic for a fixed seed and
+// independent of worker counts.
+package graphspar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
+	"graphspar/internal/engine"
+)
+
+// Auto-sharding policy: with no explicit WithShards choice, Run uses the
+// single-shot pipeline below AutoShardEdges edges and the sharded engine
+// with AutoShards shards at or above it. The threshold is where the
+// engine's fixed costs (partitioning, the global re-filter pass) start
+// paying for themselves; the policy depends only on the graph, never on
+// the machine, so results stay reproducible across hosts.
+const (
+	AutoShardEdges = 200_000
+	AutoShards     = 4
+)
+
+// Sparsifier is a reusable, immutable sparsification configuration. The
+// zero value is not usable; build one with New. A Sparsifier is safe for
+// concurrent use: Run and Maintain never mutate it.
+type Sparsifier struct {
+	cfg config
+}
+
+// New builds a Sparsifier from functional options. WithSigma2 is
+// required; everything else defaults as documented on the option.
+// Validation errors are typed: errors.Is(err, ErrInvalidOptions) matches
+// any of them, ErrBadSigma2 the missing/bad target specifically.
+func New(opts ...Option) (*Sparsifier, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Sparsifier{cfg: cfg}, nil
+}
+
+// Sigma2 reports the configured similarity target.
+func (s *Sparsifier) Sigma2() float64 { return s.cfg.sigma2 }
+
+// Run sparsifies g to the configured σ² target and returns the unified
+// Result. The execution path is chosen per the WithShards documentation
+// (auto below/above AutoShardEdges unless pinned). Cancellation of ctx
+// stops the densification rounds at their next checkpoint.
+//
+// When the round budget is exhausted with the target unmet, Run returns
+// the best sparsifier found together with ErrNoTarget (Result.TargetMet
+// is false); every other error returns a nil Result.
+func (s *Sparsifier) Run(ctx context.Context, g *Graph) (*Result, error) {
+	if s.shardsFor(g) > 1 {
+		return s.runSharded(ctx, g)
+	}
+	return s.runSingle(ctx, g)
+}
+
+// shardsFor resolves the effective shard count for a graph: the explicit
+// WithShards choice when set, otherwise the auto policy. An edge budget
+// (WithMaxEdges) pins auto to single-shot — the engine would apply the
+// cap per shard, silently inflating it.
+func (s *Sparsifier) shardsFor(g *Graph) int {
+	if s.cfg.shards != 0 {
+		return s.cfg.shards
+	}
+	if s.cfg.maxEdges == 0 && g.M() >= AutoShardEdges {
+		return AutoShards
+	}
+	return 1
+}
+
+// runSingle executes the single-shot pipeline (plus the optional
+// independent verification).
+func (s *Sparsifier) runSingle(ctx context.Context, g *Graph) (*Result, error) {
+	start := time.Now()
+	sp, err := core.SparsifyCtx(ctx, g, s.cfg.coreOptions())
+	if err != nil && !errors.Is(err, core.ErrNoTarget) {
+		return nil, err
+	}
+	res := &Result{
+		Sparsifier:      sp.Sparsifier,
+		LambdaMax:       sp.LambdaMax,
+		LambdaMin:       sp.LambdaMin,
+		SigmaSqAchieved: sp.SigmaSqAchieved,
+		TargetMet:       err == nil,
+		TotalStretch:    sp.TotalStretch,
+		TreeEdgeIDs:     sp.TreeEdgeIDs,
+		OffTreeAddedIDs: sp.OffTreeAddedIDs,
+		Rounds:          sp.Rounds,
+		Parts:           1,
+	}
+	res.Timings.Sparsify = time.Since(start)
+	if s.cfg.verify == verifyOn {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		solver, err := cholesky.NewLapSolver(sp.Sparsifier)
+		if err != nil {
+			return nil, err
+		}
+		lmax, lmin, cond, err := core.VerifySimilarity(g, sp.Sparsifier, solver, s.cfg.verifyStepsFor(g.N()), s.cfg.effectiveSeed())
+		if err != nil {
+			return nil, err
+		}
+		res.Verified = true
+		res.VerifiedLambdaMax, res.VerifiedLambdaMin, res.VerifiedCond = lmax, lmin, cond
+		res.Timings.Verify = time.Since(t0)
+	}
+	res.Timings.Wall = time.Since(start)
+	if !res.TargetMet {
+		return res, ErrNoTarget
+	}
+	return res, nil
+}
+
+// runSharded executes the shard-parallel engine.
+func (s *Sparsifier) runSharded(ctx context.Context, g *Graph) (*Result, error) {
+	er, err := engine.Run(ctx, g, s.cfg.engineOptions(s.shardsFor(g)))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Sparsifier:      er.Sparsifier,
+		Sharded:         true,
+		LambdaMax:       er.LambdaMax,
+		LambdaMin:       er.LambdaMin,
+		SigmaSqAchieved: er.SigmaSqEst,
+		TargetMet:       er.TargetMet,
+		Parts:           er.Parts,
+		Shards:          er.Shards,
+		CutEdges:        er.CutEdges,
+		StitchedCut:     er.StitchedCut,
+		RecoveredCut:    er.RecoveredCut,
+		Verified:        s.cfg.verify != verifyOff,
+		Timings: Timings{
+			Partition: er.PartitionTime,
+			Shard:     er.ShardWall,
+			ShardCPU:  er.ShardCPU,
+			Stitch:    er.StitchTime,
+			Sparsify:  er.WallTime - er.VerifyTime,
+			Verify:    er.VerifyTime,
+			Wall:      er.WallTime,
+		},
+	}
+	if res.Verified {
+		res.VerifiedLambdaMax = er.VerifiedLambdaMax
+		res.VerifiedLambdaMin = er.VerifiedLambdaMin
+		res.VerifiedCond = er.VerifiedCond
+	}
+	if !res.TargetMet {
+		return res, ErrNoTarget
+	}
+	return res, nil
+}
+
+// Maintain sparsifies g from scratch and returns a Stream that keeps the
+// sparsifier's σ² certificate valid under batched edge updates (see
+// Stream.Apply). The stream's full builds and rebuilds route through the
+// sharded engine exactly when Run would on the same graph (WithShards
+// pin, or the auto policy). WithMaxEdges does not compose with streams:
+// the maintainer's re-filter rounds admit whatever the certificate
+// needs, so an edge budget cannot be honored.
+func (s *Sparsifier) Maintain(ctx context.Context, g *Graph) (*Stream, error) {
+	if err := s.maintainable(); err != nil {
+		return nil, err
+	}
+	m, err := dynamic.New(ctx, g, s.cfg.dynamicOptions(s.shardsFor(g)))
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{m: m}, nil
+}
+
+// maintainable rejects configurations the maintainer cannot honor.
+func (s *Sparsifier) maintainable() error {
+	if s.cfg.maxEdges > 0 {
+		return fmt.Errorf("%w: WithMaxEdges does not compose with Maintain/Resume", ErrInvalidOptions)
+	}
+	return nil
+}
+
+// HeatSpectrum supports the paper's Fig. 2 reproduction: it extracts a
+// backbone tree, runs a single Joule-heat embedding round (t steps, r
+// vectors; non-positive values default as in Run) and returns all
+// off-tree heats normalized by the max, sorted descending, together with
+// the similarity-aware thresholds θσ for the requested σ² values.
+func HeatSpectrum(g *Graph, t, r int, sigmaSqs []float64, alg TreeAlgorithm, seed uint64) (norm, thresholds []float64, err error) {
+	return core.HeatSpectrum(g, t, r, sigmaSqs, alg, seed)
+}
+
+// Resume warm-starts a Stream from an existing sparsifier of a nearby
+// version of g (typically a prior Run's Result.Sparsifier, possibly for a
+// graph that has since mutated). The warm edges are reconciled against g
+// and the certificate is re-established with re-filter rounds — much
+// cheaper than Maintain when warm is close. The warm graph must cover the
+// same vertex set.
+func (s *Sparsifier) Resume(ctx context.Context, g, warm *Graph) (*Stream, error) {
+	if err := s.maintainable(); err != nil {
+		return nil, err
+	}
+	m, err := dynamic.Resume(ctx, g, warm, s.cfg.dynamicOptions(s.shardsFor(g)))
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{m: m}, nil
+}

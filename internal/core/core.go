@@ -24,14 +24,17 @@ import (
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
 	"graphspar/internal/multigrid"
+	"graphspar/internal/params"
 	"graphspar/internal/pcg"
 	"graphspar/internal/tree"
 	"graphspar/internal/vecmath"
 )
 
-// Errors surfaced by the sparsifier.
+// Errors surfaced by the sparsifier. ErrBadSigma is the shared typed
+// sentinel from internal/params (errors.Is also matches params.ErrInvalid),
+// so every pipeline rejects a bad target with the same error.
 var (
-	ErrBadSigma = errors.New("core: target σ² must be > 1")
+	ErrBadSigma = params.ErrBadSigma2
 	ErrNoTarget = errors.New("core: similarity target not reached within MaxRounds")
 )
 
@@ -140,8 +143,8 @@ func (o Options) EffectiveEmbed(n int) (t, r, powerIters int, batchFraction floa
 }
 
 func (o *Options) defaults(n int) error {
-	if !(o.SigmaSq > 1) {
-		return fmt.Errorf("%w: got %v", ErrBadSigma, o.SigmaSq)
+	if err := params.Sigma2(o.SigmaSq); err != nil {
+		return err
 	}
 	o.T, o.NumVectors, o.PowerIters, o.BatchFraction = o.EffectiveEmbed(n)
 	if o.MaxRounds <= 0 {

@@ -42,6 +42,7 @@ import (
 	"graphspar/internal/engine"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
+	"graphspar/internal/params"
 	"graphspar/internal/partition"
 	"graphspar/internal/tree"
 	"graphspar/internal/vecmath"
@@ -87,8 +88,8 @@ type Options struct {
 }
 
 func (o *Options) defaults(n int) error {
-	if !(o.Sparsify.SigmaSq > 1) {
-		return fmt.Errorf("%w: got %v", core.ErrBadSigma, o.Sparsify.SigmaSq)
+	if err := params.Sigma2(o.Sparsify.SigmaSq); err != nil {
+		return err
 	}
 	if o.RefilterRounds <= 0 {
 		o.RefilterRounds = 4

@@ -24,12 +24,14 @@ import (
 	"graphspar/internal/cholesky"
 	"graphspar/internal/core"
 	"graphspar/internal/graph"
+	"graphspar/internal/params"
 	"graphspar/internal/partition"
 )
 
-// Errors surfaced by the engine.
+// Errors surfaced by the engine. ErrBadShards is the shared typed
+// sentinel from internal/params (errors.Is also matches params.ErrInvalid).
 var (
-	ErrBadShards = errors.New("engine: shards must be positive")
+	ErrBadShards = params.ErrBadShards
 )
 
 // Options configures Run.
@@ -81,11 +83,11 @@ func (o *Options) defaults(n int) error {
 	if o.Shards == 0 {
 		o.Shards = 4
 	}
-	if o.Shards < 0 {
-		return fmt.Errorf("%w: got %d", ErrBadShards, o.Shards)
+	if err := params.Sharding(o.Shards, o.Workers, params.Limits{}); err != nil {
+		return err
 	}
-	if !(o.Sparsify.SigmaSq > 1) {
-		return fmt.Errorf("%w: got %v", core.ErrBadSigma, o.Sparsify.SigmaSq)
+	if err := params.Sigma2(o.Sparsify.SigmaSq); err != nil {
+		return err
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"graphspar/internal/lsst"
+	"graphspar/internal/params"
 	"graphspar/internal/partition"
 )
 
@@ -45,34 +46,35 @@ type SparsifyParams struct {
 	WarmJob string `json:"warm_job,omitempty"`
 }
 
-// Wire-parameter ceilings: the paper uses t ≤ 3 and r = O(log n), so
-// these bounds are far above any useful setting while keeping a remote
-// client from submitting unbounded (and uncancellable) per-job CPU work.
-const (
-	maxT          = 16
-	maxNumVectors = 1024
-	maxShards     = 256
-	maxWorkers    = 64
-)
+// wireLimits bounds remotely-submitted work: the paper uses t ≤ 3 and
+// r = O(log n), so these ceilings are far above any useful setting while
+// keeping a remote client from submitting unbounded (and uncancellable)
+// per-job CPU work. The checks themselves live in internal/params, shared
+// with the pipelines' own validation.
+var wireLimits = params.Limits{
+	MaxT:          16,
+	MaxNumVectors: 1024,
+	MaxShards:     256,
+	MaxWorkers:    64,
+}
 
 // Canon applies the service-level defaults (matching core.Options'
 // defaulting where the values are n-independent) and normalizes the tree
-// algorithm name. It returns an error for unusable values.
+// algorithm name. Unusable values come back as the typed errors of
+// internal/params (all matching params.ErrInvalid), which errStatus maps
+// to HTTP 400.
 func (p *SparsifyParams) Canon() error {
-	if !(p.SigmaSq > 1) {
-		return fmt.Errorf("sigma2 must be > 1, got %v", p.SigmaSq)
+	if err := params.Sigma2(p.SigmaSq); err != nil {
+		return err
 	}
 	if p.T <= 0 {
 		p.T = 2
 	}
-	if p.T > maxT {
-		return fmt.Errorf("t must be at most %d, got %d", maxT, p.T)
-	}
 	if p.NumVectors < 0 {
 		p.NumVectors = 0 // 0 keeps core's O(log n) default
 	}
-	if p.NumVectors > maxNumVectors {
-		return fmt.Errorf("r must be at most %d, got %d", maxNumVectors, p.NumVectors)
+	if err := params.Embed(p.T, p.NumVectors, wireLimits); err != nil {
+		return err
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
@@ -92,23 +94,20 @@ func (p *SparsifyParams) Canon() error {
 	if p.Shards == 1 {
 		p.Shards = 0 // canonical single-shot form
 	}
-	if p.Shards > maxShards {
-		return fmt.Errorf("shards must be at most %d, got %d", maxShards, p.Shards)
-	}
 	if p.Workers < 0 {
 		p.Workers = 0
 	}
-	if p.Workers > maxWorkers {
-		return fmt.Errorf("workers must be at most %d, got %d", maxWorkers, p.Workers)
+	if err := params.Sharding(p.Shards, p.Workers, wireLimits); err != nil {
+		return err
 	}
 	if !p.Incremental && p.WarmJob != "" {
-		return fmt.Errorf("warm_job requires incremental=true")
+		return fmt.Errorf("%w: warm_job requires incremental=true", params.ErrBadCombination)
 	}
 	if p.Incremental && p.MaxEdges > 0 {
 		// The maintainer has no edge budget: re-filter rounds admit
 		// whatever the certificate needs. Reject rather than silently
 		// returning an unbounded result.
-		return fmt.Errorf("max_edges does not compose with incremental")
+		return fmt.Errorf("%w: max_edges does not compose with incremental", params.ErrBadCombination)
 	}
 	if p.Shards == 0 {
 		// Engine-only knobs are meaningless single-shot; zero them so the
@@ -118,7 +117,7 @@ func (p *SparsifyParams) Canon() error {
 		return nil
 	}
 	if p.MaxEdges > 0 {
-		return fmt.Errorf("max_edges is a single-shot knob; it does not compose with shards")
+		return fmt.Errorf("%w: max_edges is a single-shot knob; it does not compose with shards", params.ErrBadCombination)
 	}
 	m, err := partition.ParseMethod(p.Partition)
 	if err != nil {

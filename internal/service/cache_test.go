@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func params(sigma float64) SparsifyParams {
+func testParams(sigma float64) SparsifyParams {
 	p := SparsifyParams{SigmaSq: sigma}
 	if err := p.Canon(); err != nil {
 		panic(err)
@@ -50,7 +50,7 @@ func TestParamsCanon(t *testing.T) {
 
 func TestCacheExactHit(t *testing.T) {
 	c := NewResultCache(4)
-	p := params(100)
+	p := testParams(100)
 	if _, out := c.Get("h1", p); out != CacheMiss {
 		t.Fatalf("empty cache: outcome %v", out)
 	}
@@ -72,20 +72,20 @@ func TestCacheExactHit(t *testing.T) {
 func TestCacheCoarserHit(t *testing.T) {
 	c := NewResultCache(8)
 	// A σ²=50 sparsifier (achieved 40) certifies any σ² ≥ 50 request.
-	c.Put("h", params(50), result(40))
+	c.Put("h", testParams(50), result(40))
 
-	res, out := c.Get("h", params(200))
+	res, out := c.Get("h", testParams(200))
 	if out != CacheCoarser || res.SigmaSqAchieved != 40 {
 		t.Fatalf("coarser lookup = %v, %v; want coarser hit", res, out)
 	}
 	// A tighter request must NOT reuse a looser sparsifier.
-	if _, out := c.Get("h", params(10)); out != CacheMiss {
+	if _, out := c.Get("h", testParams(10)); out != CacheMiss {
 		t.Errorf("tighter request reused looser result: outcome %v", out)
 	}
 	// Among multiple qualifying entries, prefer the sparsest (largest σ²
 	// at or below the request).
-	c.Put("h", params(100), result(90))
-	res, out = c.Get("h", params(300))
+	c.Put("h", testParams(100), result(90))
+	res, out = c.Get("h", testParams(300))
 	if out != CacheCoarser || res.SigmaSqAchieved != 90 {
 		t.Errorf("best coarser = %v, %v; want the σ²=100 entry", res, out)
 	}
@@ -99,7 +99,7 @@ func TestCacheCoarserHit(t *testing.T) {
 	}
 	// A coarser hit is memoized under the exact key: repeating the same
 	// request upgrades to an exact hit.
-	if _, out := c.Get("h", params(300)); out != CacheExact {
+	if _, out := c.Get("h", testParams(300)); out != CacheExact {
 		t.Errorf("repeated coarser request not memoized: outcome %v", out)
 	}
 }
@@ -108,11 +108,11 @@ func TestCacheCoarserRespectsAchieved(t *testing.T) {
 	c := NewResultCache(4)
 	// Entry built for σ²=50 but only achieved 120 (ErrNoTarget path):
 	// it cannot certify a σ²=100 request.
-	c.Put("h", params(50), &JobResult{SigmaSqAchieved: 120})
-	if _, out := c.Get("h", params(100)); out != CacheMiss {
+	c.Put("h", testParams(50), &JobResult{SigmaSqAchieved: 120})
+	if _, out := c.Get("h", testParams(100)); out != CacheMiss {
 		t.Errorf("unmet-target entry reused: outcome %v", out)
 	}
-	res, out := c.Get("h", params(150))
+	res, out := c.Get("h", testParams(150))
 	if out != CacheCoarser {
 		t.Errorf("σ²=150 should qualify (achieved 120): outcome %v", out)
 	}
@@ -127,17 +127,17 @@ func TestCacheLRUEviction(t *testing.T) {
 	// Distinct graph hashes so family-level coarser matching cannot mask
 	// the eviction under test.
 	c := NewResultCache(2)
-	c.Put("h1", params(10), result(5))
-	c.Put("h2", params(20), result(15))
+	c.Put("h1", testParams(10), result(5))
+	c.Put("h2", testParams(20), result(15))
 	// Touch h1 so h2 is the LRU victim.
-	if _, out := c.Get("h1", params(10)); out != CacheExact {
+	if _, out := c.Get("h1", testParams(10)); out != CacheExact {
 		t.Fatal("expected hit")
 	}
-	c.Put("h3", params(30), result(25))
-	if _, out := c.Get("h2", params(20)); out != CacheMiss {
+	c.Put("h3", testParams(30), result(25))
+	if _, out := c.Get("h2", testParams(20)); out != CacheMiss {
 		t.Errorf("LRU entry survived eviction: outcome %v", out)
 	}
-	if _, out := c.Get("h1", params(10)); out != CacheExact {
+	if _, out := c.Get("h1", testParams(10)); out != CacheExact {
 		t.Errorf("recently used entry evicted: outcome %v", out)
 	}
 	s := c.Stats()
@@ -148,8 +148,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c := NewResultCache(0)
-	c.Put("h", params(10), result(5))
-	if _, out := c.Get("h", params(10)); out != CacheMiss {
+	c.Put("h", testParams(10), result(5))
+	if _, out := c.Get("h", testParams(10)); out != CacheMiss {
 		t.Errorf("disabled cache returned a hit")
 	}
 	if c.Len() != 0 {
@@ -161,12 +161,12 @@ func TestCacheFamilyCleanupAfterEviction(t *testing.T) {
 	// Evicting the last member of a family must not leak the family map
 	// or corrupt later coarser lookups.
 	c := NewResultCache(1)
-	c.Put("h", params(50), result(40))
-	c.Put("h2", params(50), result(40)) // evicts the first
-	if _, out := c.Get("h", params(100)); out != CacheMiss {
+	c.Put("h", testParams(50), result(40))
+	c.Put("h2", testParams(50), result(40)) // evicts the first
+	if _, out := c.Get("h", testParams(100)); out != CacheMiss {
 		t.Errorf("evicted family still serving: outcome %v", out)
 	}
-	if _, out := c.Get("h2", params(100)); out != CacheCoarser {
+	if _, out := c.Get("h2", testParams(100)); out != CacheCoarser {
 		t.Errorf("surviving entry lost: outcome %v", out)
 	}
 }
@@ -179,8 +179,8 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer func() { done <- struct{}{} }()
 			for j := 0; j < 200; j++ {
 				h := fmt.Sprintf("h%d", j%4)
-				c.Put(h, params(float64(10+j%8*10)), result(5))
-				c.Get(h, params(float64(10+(j+1)%8*10)))
+				c.Put(h, testParams(float64(10+j%8*10)), result(5))
+				c.Get(h, testParams(float64(10+(j+1)%8*10)))
 			}
 		}(i)
 	}
@@ -223,7 +223,7 @@ func TestCanonShardParams(t *testing.T) {
 }
 
 func TestShardParamsCacheKeys(t *testing.T) {
-	single := params(100)
+	single := testParams(100)
 	sharded := SparsifyParams{SigmaSq: 100, Shards: 4}
 	if err := sharded.Canon(); err != nil {
 		t.Fatal(err)

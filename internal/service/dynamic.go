@@ -1,18 +1,13 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 
-	"graphspar/internal/core"
 	"graphspar/internal/dynamic"
-	"graphspar/internal/graph"
-	"graphspar/internal/lsst"
-	"graphspar/internal/partition"
 )
 
 // updateJSON is the wire form of one edge mutation.
@@ -110,59 +105,4 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-}
-
-// RunIncremental is the production IncrementalFunc: it warm-starts a
-// dynamic.Maintainer from a prior sparsifier (dynamic.Resume reconciles
-// it against the current graph and re-establishes the certificate with
-// re-filter rounds) instead of running the full pipeline. The certificate
-// in the result is the maintainer's independently verified κ.
-func RunIncremental(ctx context.Context, g, warm *graph.Graph, p SparsifyParams) (*JobResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	alg, err := lsst.Parse(p.TreeAlg)
-	if err != nil {
-		return nil, err
-	}
-	var popt *partition.Options
-	if p.Shards > 1 && p.Partition != "" {
-		method, err := partition.ParseMethod(p.Partition)
-		if err != nil {
-			return nil, err
-		}
-		popt = &partition.Options{Method: method, SigmaSq: p.SigmaSq, Seed: p.Seed}
-	}
-	m, err := dynamic.Resume(ctx, g, warm, dynamic.Options{
-		Sparsify: core.Options{
-			SigmaSq:    p.SigmaSq,
-			T:          p.T,
-			NumVectors: p.NumVectors,
-			TreeAlg:    alg,
-			Seed:       p.Seed,
-		},
-		RebuildShards:    p.Shards,
-		RebuildWorkers:   p.Workers,
-		RebuildPartition: popt,
-	})
-	if err != nil {
-		return nil, err
-	}
-	sp := m.Sparsifier()
-	st := m.Stats()
-	return &JobResult{
-		EdgesKept:       sp.M(),
-		EdgesInput:      g.M(),
-		Density:         float64(sp.M()) / float64(sp.N()),
-		Reduction:       float64(g.M()) / float64(sp.M()),
-		SigmaSqAchieved: m.Cond(),
-		TargetMet:       m.TargetMet(),
-		Rounds:          st.Refilters,
-		Connected:       sp.IsConnected(),
-		// The maintainer's certificate IS the independent Lanczos check.
-		VerifiedCond: m.Cond(),
-		Refilters:    st.Refilters,
-		Rebuilds:     st.Rebuilds,
-		Sparsifier:   sp,
-	}, nil
 }

@@ -143,57 +143,57 @@ func TestCacheInvalidateGraph(t *testing.T) {
 	}
 }
 
-// TestIncrementalJobWarmStarts runs the full warm-start flow end to end:
-// sparsify, PATCH the graph, then submit an incremental job and check it
-// reused the prior sparsifier and met the target on the mutated graph.
-func TestIncrementalJobWarmStarts(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full sparsification run")
+// TestIncrementalDispatchesToRunner pins the queue's routing contract
+// with stubs: an incremental job with a usable warm start must invoke the
+// injected IncrementalFunc (passing the prior sparsifier), never the
+// from-scratch runner, and must bypass the result cache. (The production
+// warm-start flow end to end lives in cmd/serve.)
+func TestIncrementalDispatchesToRunner(t *testing.T) {
+	g, err := gen.Grid2D(4, 4, gen.UnitWeights, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	var calls atomic.Int64
-	ts := newTestServer(t, Config{}, &calls)
-	registerSpec(t, ts.URL, "g", "grid:12x12")
-
-	var job Job
-	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-		submitRequest{Graph: "g", SparsifyParams: SparsifyParams{SigmaSq: 60}}, &job)
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: %d %s", code, raw)
-	}
-	full := pollJob(t, ts.URL, job.ID)
-	if full.Status != StatusDone {
-		t.Fatalf("full job: %+v", full)
-	}
-
-	code, raw = doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/g/edges", patchRequest{
-		Updates: []updateJSON{
-			{Op: "insert", U: 0, V: 143, W: 1.2},
-			{Op: "delete", U: 0, V: 1},
+	var fullCalls, incCalls atomic.Int64
+	var warmSeen *graph.Graph
+	q := NewQueue(1, 8, NewResultCache(8),
+		func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+			fullCalls.Add(1)
+			return &JobResult{TargetMet: true, Sparsifier: g}, nil
 		},
-	}, nil)
-	if code != http.StatusOK {
-		t.Fatalf("PATCH: %d %s", code, raw)
+		func(ctx context.Context, g, warm *graph.Graph, p SparsifyParams) (*JobResult, error) {
+			incCalls.Add(1)
+			warmSeen = warm
+			return &JobResult{TargetMet: true, Sparsifier: g}, nil
+		})
+	defer func() { _ = q.Shutdown(context.Background()) }()
+	entry := &GraphEntry{Name: "g", Hash: HashGraph(g), Graph: g, N: g.N(), M: g.M()}
+
+	p := testParams(50)
+	seed, err := q.Submit(entry, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitJob(t, q, seed.ID); done.Status != StatusDone {
+		t.Fatalf("seed job: %+v", done)
 	}
 
-	code, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-		submitRequest{Graph: "g", SparsifyParams: SparsifyParams{SigmaSq: 60, Incremental: true}}, &job)
-	if code != http.StatusAccepted {
-		t.Fatalf("submit incremental: %d %s", code, raw)
+	pInc := SparsifyParams{SigmaSq: 50, Incremental: true}
+	if err := pInc.Canon(); err != nil {
+		t.Fatal(err)
 	}
-	inc := pollJob(t, ts.URL, job.ID)
-	if inc.Status != StatusDone {
-		t.Fatalf("incremental job: %+v", inc)
+	job, err := q.Submit(entry, pInc)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !inc.Result.Incremental || inc.Result.WarmSource != full.ID {
-		t.Fatalf("result = %+v, want warm start from %s", inc.Result, full.ID)
+	done := waitJob(t, q, job.ID)
+	if done.Status != StatusDone || !done.Result.Incremental || done.Result.WarmSource != seed.ID {
+		t.Fatalf("incremental job = %+v, want warm start from %s", done, seed.ID)
 	}
-	if !inc.Result.TargetMet || inc.Result.VerifiedCond > 60 {
-		t.Fatalf("incremental certificate: %+v", inc.Result)
+	if fullCalls.Load() != 1 || incCalls.Load() != 1 {
+		t.Fatalf("runner calls: full=%d inc=%d, want 1/1", fullCalls.Load(), incCalls.Load())
 	}
-	// The incremental job must not have invoked the from-scratch runner
-	// again (exactly one full sparsify ran in this test).
-	if calls.Load() != 1 {
-		t.Fatalf("full sparsify ran %d times, want 1", calls.Load())
+	if warmSeen == nil || warmSeen != g {
+		t.Fatal("incremental runner did not receive the prior sparsifier")
 	}
 }
 
@@ -201,7 +201,7 @@ func TestIncrementalJobWarmStarts(t *testing.T) {
 // first job: no prior sparsifier exists, so the queue must fall back to
 // the plain runner and still succeed.
 func TestIncrementalWithoutWarmStartFallsBack(t *testing.T) {
-	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		return &JobResult{EdgesKept: g.M(), TargetMet: true}, nil
 	})
 	defer func() { _ = q.Shutdown(context.Background()) }()
@@ -230,7 +230,7 @@ func TestIncrementalWithoutWarmStartFallsBack(t *testing.T) {
 // TestIncrementalWarmJobValidation rejects unknown or unfinished warm_job
 // references.
 func TestIncrementalWarmJobValidation(t *testing.T) {
-	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		return &JobResult{TargetMet: true}, nil
 	})
 	defer func() { _ = q.Shutdown(context.Background()) }()
@@ -291,7 +291,7 @@ func TestRegistryUpdateCAS(t *testing.T) {
 // TestIncrementalWarmJobWrongGraph rejects a warm_job that sparsified a
 // different graph, even with a matching vertex count.
 func TestIncrementalWarmJobWrongGraph(t *testing.T) {
-	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		return &JobResult{TargetMet: true, Sparsifier: g}, nil
 	})
 	defer func() { _ = q.Shutdown(context.Background()) }()

@@ -13,6 +13,7 @@ import (
 	"graphspar/internal/dynamic"
 	"graphspar/internal/graph"
 	"graphspar/internal/mm"
+	"graphspar/internal/params"
 )
 
 // maxUploadBytes bounds MatrixMarket uploads (64 MiB).
@@ -25,9 +26,12 @@ type Config struct {
 	Backlog    int // queued jobs beyond the running ones (default 64; negative = none)
 	CacheSize  int // LRU result-cache capacity (default 128; negative disables)
 	RetainJobs int // terminal jobs kept for polling (default 512; negative = unbounded)
-	// Sparsify overrides the job runner; nil means RunSparsify. Tests use
-	// this to observe or stub the expensive call.
-	Sparsify SparsifyFunc
+	// Sparsify runs from-scratch jobs and Incremental warm-started ones.
+	// cmd/serve injects the production runners (built on the public
+	// graphspar facade, which internal packages cannot import); tests
+	// inject stubs. Jobs needing a nil runner fail with ErrNoRunner.
+	Sparsify    SparsifyFunc
+	Incremental IncrementalFunc
 }
 
 func (c *Config) defaults() {
@@ -65,7 +69,7 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg.defaults()
 	cache := NewResultCache(cfg.CacheSize)
-	queue := NewQueue(cfg.Workers, cfg.Backlog, cache, cfg.Sparsify)
+	queue := NewQueue(cfg.Workers, cfg.Backlog, cache, cfg.Sparsify, cfg.Incremental)
 	queue.SetRetain(cfg.RetainJobs)
 	registry := NewRegistry()
 	queue.SetCacheGate(registry.HasHash)
@@ -150,7 +154,7 @@ func errStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrBadGraphName), errors.Is(err, cli.ErrSpec),
 		errors.Is(err, mm.ErrFormat), errors.Is(err, mm.ErrUnsupported),
-		errors.Is(err, dynamic.ErrBadUpdate):
+		errors.Is(err, dynamic.ErrBadUpdate), errors.Is(err, params.ErrInvalid):
 		return http.StatusBadRequest
 	case errors.Is(err, dynamic.ErrEdgeExists):
 		return http.StatusConflict

@@ -17,14 +17,16 @@ import (
 	"graphspar/internal/mm"
 )
 
-// newTestServer spins up the full HTTP stack with a call-counting wrapper
-// around the production sparsifier.
+// newTestServer spins up the full HTTP stack. Jobs run against the
+// injected (stub) runner; tests of the production runners live in
+// cmd/serve, where the graphspar-facade-backed implementations are wired
+// in. A nil cfg.Sparsify with calls set installs a counting stub.
 func newTestServer(t *testing.T, cfg Config, calls *atomic.Int64) *httptest.Server {
 	t.Helper()
 	if cfg.Sparsify == nil && calls != nil {
 		cfg.Sparsify = func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 			calls.Add(1)
-			return RunSparsify(ctx, g, p)
+			return &JobResult{SigmaSqAchieved: p.SigmaSq, TargetMet: true, Sparsifier: g}, nil
 		}
 	}
 	srv := NewServer(cfg)
@@ -89,73 +91,36 @@ func pollJob(t *testing.T, base, id string) Job {
 	return Job{}
 }
 
-// TestServiceEndToEnd is the acceptance scenario: register a 40x40 grid,
-// run two concurrent jobs at different σ² targets, poll to completion,
-// check each sparsifier is connected with verified condition number
-// within its target, and confirm an identical resubmission is a cache
-// hit that does not re-run the sparsifier.
-func TestServiceEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full sparsification run")
-	}
+// TestJobCacheShortCircuitOverHTTP drives the cache-aware submission path
+// with a counting stub: identical and coarser-σ² resubmissions are served
+// from cache without re-running the sparsifier. (The production-runner
+// end-to-end scenario lives in cmd/serve, where the graphspar-backed
+// runners are wired in.)
+func TestJobCacheShortCircuitOverHTTP(t *testing.T) {
 	var calls atomic.Int64
 	ts := newTestServer(t, Config{Workers: 2, Backlog: 8, CacheSize: 16}, &calls)
 
-	// Register via generator spec.
 	var info graphInfo
 	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs",
-		registerRequest{Name: "grid40", Spec: "grid:40x40:uniform", Seed: 7}, &info)
+		registerRequest{Name: "grid10", Spec: "grid:10x10:uniform", Seed: 7}, &info)
 	if code != http.StatusCreated {
 		t.Fatalf("register: %d %s", code, raw)
 	}
-	if info.N != 1600 || info.M != 2*40*39 || info.Hash == "" {
-		t.Fatalf("graph info = %+v", info)
+
+	var job Job
+	code, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		submitRequest{Graph: "grid10", SparsifyParams: SparsifyParams{SigmaSq: 60}}, &job)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	if done := pollJob(t, ts.URL, job.ID); done.Status != StatusDone {
+		t.Fatalf("job: %+v", done)
 	}
 
-	// Two concurrent jobs at different targets, tighter target last: a
-	// cached looser-target result can never serve a tighter request, so
-	// this stays cache-cold even if the first job finishes very quickly.
-	targets := []float64{150, 60}
-	jobs := make([]Job, len(targets))
-	for i, s2 := range targets {
-		var job Job
-		code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-			submitRequest{Graph: "grid40", SparsifyParams: SparsifyParams{SigmaSq: s2}}, &job)
-		if code != http.StatusAccepted {
-			t.Fatalf("submit σ²=%v: %d %s", s2, code, raw)
-		}
-		jobs[i] = job
-	}
-
-	for i, job := range jobs {
-		done := pollJob(t, ts.URL, job.ID)
-		if done.Status != StatusDone {
-			t.Fatalf("job %s: %s (%s)", job.ID, done.Status, done.Error)
-		}
-		res := done.Result
-		if res == nil {
-			t.Fatalf("job %s: no result", job.ID)
-		}
-		if !res.Connected {
-			t.Errorf("σ²=%v sparsifier disconnected", targets[i])
-		}
-		if res.VerifiedCond <= 0 || res.VerifiedCond > targets[i] {
-			t.Errorf("σ²=%v: verified condition number %v outside (0, %v]",
-				targets[i], res.VerifiedCond, targets[i])
-		}
-		if res.EdgesKept >= res.EdgesInput {
-			t.Errorf("σ²=%v: no edge reduction (%d >= %d)", targets[i], res.EdgesKept, res.EdgesInput)
-		}
-	}
-	ranBefore := calls.Load()
-	if ranBefore != int64(len(targets)) {
-		t.Fatalf("sparsify ran %d times, want %d", ranBefore, len(targets))
-	}
-
-	// Identical resubmission: served from cache, sparsifier NOT re-run.
+	// Identical resubmission: served from cache, runner NOT re-run.
 	var cached Job
 	code, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-		submitRequest{Graph: "grid40", SparsifyParams: SparsifyParams{SigmaSq: targets[0]}}, &cached)
+		submitRequest{Graph: "grid10", SparsifyParams: SparsifyParams{SigmaSq: 60}}, &cached)
 	if code != http.StatusOK {
 		t.Fatalf("cached submit: %d %s", code, raw)
 	}
@@ -165,33 +130,15 @@ func TestServiceEndToEnd(t *testing.T) {
 	// A coarser target is also served from the σ²=60 certificate.
 	var coarser Job
 	code, raw = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
-		submitRequest{Graph: "grid40", SparsifyParams: SparsifyParams{SigmaSq: 5000}}, &coarser)
+		submitRequest{Graph: "grid10", SparsifyParams: SparsifyParams{SigmaSq: 5000}}, &coarser)
 	if code != http.StatusOK {
 		t.Fatalf("coarser submit: %d %s", code, raw)
 	}
 	if coarser.CacheHit != CacheCoarser {
 		t.Errorf("coarser job cache = %q, want coarser", coarser.CacheHit)
 	}
-	if calls.Load() != ranBefore {
-		t.Errorf("sparsify re-ran on cached submissions: %d calls", calls.Load())
-	}
-
-	// The result downloads round-trip as valid MatrixMarket.
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + jobs[0].ID + "/sparsifier.mtx")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	m, err := mm.Read(resp.Body)
-	if err != nil {
-		t.Fatalf("sparsifier.mtx unreadable: %v", err)
-	}
-	rt, err := m.ToGraph()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rt.N() != 1600 || !rt.IsConnected() {
-		t.Errorf("downloaded sparsifier: n=%d connected=%v", rt.N(), rt.IsConnected())
+	if calls.Load() != 1 {
+		t.Errorf("runner calls = %d, want 1", calls.Load())
 	}
 }
 

@@ -7,12 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"graphspar/internal/cholesky"
-	"graphspar/internal/core"
-	"graphspar/internal/engine"
 	"graphspar/internal/graph"
-	"graphspar/internal/lsst"
-	"graphspar/internal/partition"
 )
 
 // Queue errors, mapped to HTTP status codes by the handlers.
@@ -21,6 +16,12 @@ var (
 	ErrQueueClosed   = errors.New("service: job queue is shut down")
 	ErrJobNotFound   = errors.New("service: job not found")
 	ErrJobUnfinished = errors.New("service: job has not finished")
+	// ErrNoRunner reports a queue constructed without an execution
+	// backend. The service is transport and scheduling only — the
+	// production runners are built on the public graphspar facade and
+	// injected by cmd/serve, because internal packages must not import
+	// the root package (the facade sits on top of them).
+	ErrNoRunner = errors.New("service: no sparsify runner configured")
 )
 
 // JobStatus is the lifecycle state of a job.
@@ -90,12 +91,13 @@ type Job struct {
 	graphEntry *GraphEntry
 }
 
-// SparsifyFunc runs one sparsification; the default is RunSparsify.
-// Injectable so tests can count or stub the expensive call.
+// SparsifyFunc runs one sparsification. cmd/serve injects the production
+// implementation (built on the graphspar facade); tests inject counters
+// or stubs.
 type SparsifyFunc func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error)
 
 // IncrementalFunc runs one warm-started sparsification from a prior
-// sparsifier; the default is RunIncremental.
+// sparsifier. Injected alongside SparsifyFunc.
 type IncrementalFunc func(ctx context.Context, g, warm *graph.Graph, p SparsifyParams) (*JobResult, error)
 
 // defaultRetainJobs bounds how many terminal jobs the queue remembers
@@ -142,9 +144,11 @@ func (q *Queue) SetCacheGate(gate func(hash string) bool) {
 }
 
 // NewQueue starts a queue with the given concurrency and backlog bounds.
-// A nil sparsify falls back to RunSparsify; cache may be nil to disable
-// memoization.
-func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc) *Queue {
+// sparsify executes from-scratch jobs and incremental executes
+// warm-started ones; a nil runner fails the corresponding jobs with
+// ErrNoRunner (incremental jobs without a usable warm start fall back to
+// sparsify). cache may be nil to disable memoization.
+func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc, incremental IncrementalFunc) *Queue {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -152,7 +156,9 @@ func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc) *
 		backlog = 0
 	}
 	if sparsify == nil {
-		sparsify = RunSparsify
+		sparsify = func(context.Context, *graph.Graph, SparsifyParams) (*JobResult, error) {
+			return nil, ErrNoRunner
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
@@ -163,7 +169,7 @@ func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc) *
 		cancel:      cancel,
 		cache:       cache,
 		sparsify:    sparsify,
-		incremental: RunIncremental,
+		incremental: incremental,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -295,6 +301,9 @@ func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult,
 			res.Incremental = true // requested, but cold: WarmSource stays ""
 		}
 		return res, err
+	}
+	if q.incremental == nil {
+		return nil, ErrNoRunner
 	}
 	res, err := q.incremental(q.ctx, entry.Graph, warm, p)
 	if res != nil {
@@ -439,135 +448,4 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-}
-
-// RunSparsify is the production SparsifyFunc: it maps the wire params to
-// core.Options, runs the similarity-aware pipeline (single-shot, or the
-// shard-parallel engine when shards > 1), and independently verifies the
-// result with a generalized Lanczos estimate. Cancellation propagates
-// into the densification rounds via core.SparsifyCtx, so a canceled job
-// stops computing at its next round boundary.
-func RunSparsify(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if p.Shards > 1 {
-		return runSharded(ctx, g, p)
-	}
-	alg, err := lsst.Parse(p.TreeAlg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.SparsifyCtx(ctx, g, core.Options{
-		SigmaSq:    p.SigmaSq,
-		T:          p.T,
-		NumVectors: p.NumVectors,
-		TreeAlg:    alg,
-		Seed:       p.Seed,
-		MaxEdges:   p.MaxEdges,
-	})
-	targetMet := err == nil
-	if err != nil && !errors.Is(err, core.ErrNoTarget) {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	out := &JobResult{
-		EdgesKept:       res.Sparsifier.M(),
-		EdgesInput:      g.M(),
-		Density:         res.Density(),
-		Reduction:       float64(g.M()) / float64(res.Sparsifier.M()),
-		SigmaSqAchieved: res.SigmaSqAchieved,
-		TargetMet:       targetMet,
-		Rounds:          len(res.Rounds),
-		TotalStretch:    res.TotalStretch,
-		Connected:       res.Sparsifier.IsConnected(),
-		Sparsifier:      res.Sparsifier,
-	}
-
-	// Independent check: κ(L_G, L_P) by generalized Lanczos with an exact
-	// factorization of the sparsifier.
-	solver, err := cholesky.NewLapSolver(res.Sparsifier)
-	if err != nil {
-		return nil, fmt.Errorf("verification solver: %w", err)
-	}
-	k := lanczosSteps(g.N())
-	lmax, lmin, cond, err := core.VerifySimilarity(g, res.Sparsifier, solver, k, p.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("similarity verification: %w", err)
-	}
-	out.VerifiedLambdaMax, out.VerifiedLambdaMin, out.VerifiedCond = lmax, lmin, cond
-	return out, nil
-}
-
-// runSharded maps a shards>1 job onto the engine, which partitions,
-// sparsifies each shard concurrently, stitches, and verifies on its own.
-func runSharded(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
-	alg, err := lsst.Parse(p.TreeAlg)
-	if err != nil {
-		return nil, err
-	}
-	var popt *partition.Options
-	if p.Partition != "" {
-		m, err := partition.ParseMethod(p.Partition)
-		if err != nil {
-			return nil, err
-		}
-		popt = &partition.Options{Method: m, SigmaSq: p.SigmaSq, Seed: p.Seed}
-	}
-	res, err := engine.Run(ctx, g, engine.Options{
-		Shards:  p.Shards,
-		Workers: p.Workers,
-		Sparsify: core.Options{
-			SigmaSq:    p.SigmaSq,
-			T:          p.T,
-			NumVectors: p.NumVectors,
-			TreeAlg:    alg,
-		},
-		Partition:   popt,
-		VerifySteps: lanczosSteps(g.N()),
-		Seed:        p.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	rounds := 0
-	for _, s := range res.Shards {
-		rounds += len(s.Rounds)
-	}
-	return &JobResult{
-		EdgesKept:  res.Sparsifier.M(),
-		EdgesInput: g.M(),
-		Density:    res.Density(),
-		Reduction:  float64(g.M()) / float64(res.Sparsifier.M()),
-		// Like single-shot jobs, sigma2_achieved is the pipeline's own
-		// (conservative) estimate; verified_* carry the independent check.
-		SigmaSqAchieved:   res.SigmaSqEst,
-		TargetMet:         res.TargetMet,
-		Rounds:            rounds,
-		Connected:         res.Sparsifier.IsConnected(),
-		VerifiedLambdaMax: res.VerifiedLambdaMax,
-		VerifiedLambdaMin: res.VerifiedLambdaMin,
-		VerifiedCond:      res.VerifiedCond,
-		Shards:            res.Parts,
-		CutEdges:          res.CutEdges,
-		RecoveredCut:      res.RecoveredCut,
-		ShardSpeedup:      res.Speedup(),
-		Sparsifier:        res.Sparsifier,
-	}, nil
-}
-
-// lanczosSteps picks the verification depth: enough steps for the Ritz
-// extremes to settle without dominating the job runtime.
-func lanczosSteps(n int) int {
-	k := 30
-	if n < k {
-		k = n
-	}
-	if k < 2 {
-		k = 2
-	}
-	return k
 }

@@ -43,13 +43,13 @@ func waitJob(t *testing.T, q *Queue, id string) Job {
 func TestQueueRunsJobs(t *testing.T) {
 	entry := testEntry(t)
 	var calls atomic.Int64
-	q := NewQueue(2, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(2, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		calls.Add(1)
 		return &JobResult{SigmaSqAchieved: p.SigmaSq / 2, Sparsifier: g}, nil
 	})
 	defer q.Shutdown(context.Background())
 
-	job, err := q.Submit(entry, params(100))
+	job, err := q.Submit(entry, testParams(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestQueueBoundedConcurrencyAndBacklog(t *testing.T) {
 	const workers = 2
 	var running, peak atomic.Int64
 	block := make(chan struct{})
-	q := NewQueue(workers, 1, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(workers, 1, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		cur := running.Add(1)
 		for {
 			old := peak.Load()
@@ -92,7 +92,7 @@ func TestQueueBoundedConcurrencyAndBacklog(t *testing.T) {
 	// channel, so racing it against worker pickup would flake).
 	var ids []string
 	for i := 0; i < workers; i++ {
-		job, err := q.Submit(entry, params(float64(10+i)))
+		job, err := q.Submit(entry, testParams(float64(10+i)))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -106,14 +106,14 @@ func TestQueueBoundedConcurrencyAndBacklog(t *testing.T) {
 		}
 	}
 	// Fill the single backlog slot.
-	job, err := q.Submit(entry, params(99))
+	job, err := q.Submit(entry, testParams(99))
 	if err != nil {
 		t.Fatalf("backlog submit: %v", err)
 	}
 	ids = append(ids, job.ID)
 
 	// Now workers and backlog are saturated: the next submit must shed.
-	if _, err := q.Submit(entry, params(100)); !errors.Is(err, ErrQueueFull) {
+	if _, err := q.Submit(entry, testParams(100)); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("saturated submit: err = %v, want ErrQueueFull", err)
 	}
 
@@ -132,20 +132,20 @@ func TestQueueCacheShortCircuit(t *testing.T) {
 	entry := testEntry(t)
 	cache := NewResultCache(4)
 	var calls atomic.Int64
-	q := NewQueue(1, 4, cache, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 4, cache, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		calls.Add(1)
 		return &JobResult{SigmaSqAchieved: p.SigmaSq * 0.8, Sparsifier: g}, nil
 	})
 	defer q.Shutdown(context.Background())
 
-	first, err := q.Submit(entry, params(100))
+	first, err := q.Submit(entry, testParams(100))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitJob(t, q, first.ID)
 
 	// Identical resubmission: served instantly, runner not called again.
-	second, err := q.Submit(entry, params(100))
+	second, err := q.Submit(entry, testParams(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestQueueCacheShortCircuit(t *testing.T) {
 		t.Errorf("resubmit = status %s cache %q, want done/exact", second.Status, second.CacheHit)
 	}
 	// Coarser target: also served from cache.
-	third, err := q.Submit(entry, params(500))
+	third, err := q.Submit(entry, testParams(500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,12 +168,12 @@ func TestQueueCacheShortCircuit(t *testing.T) {
 func TestQueueFailedJob(t *testing.T) {
 	entry := testEntry(t)
 	boom := errors.New("boom")
-	q := NewQueue(1, 4, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 4, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		return nil, boom
 	})
 	defer q.Shutdown(context.Background())
 
-	job, err := q.Submit(entry, params(100))
+	job, err := q.Submit(entry, testParams(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestQueueShutdownCancelsPending(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		once.Do(func() { close(started) })
 		select {
 		case <-release:
@@ -198,11 +198,11 @@ func TestQueueShutdownCancelsPending(t *testing.T) {
 		}
 	})
 
-	blocker, err := q.Submit(entry, params(10))
+	blocker, err := q.Submit(entry, testParams(10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := q.Submit(entry, params(20))
+	queued, err := q.Submit(entry, testParams(20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,14 +222,14 @@ func TestQueueShutdownCancelsPending(t *testing.T) {
 		t.Errorf("queued job = %s, want canceled", job.Status)
 	}
 	// Submits after shutdown are refused.
-	if _, err := q.Submit(entry, params(30)); !errors.Is(err, ErrQueueClosed) {
+	if _, err := q.Submit(entry, testParams(30)); !errors.Is(err, ErrQueueClosed) {
 		t.Errorf("post-shutdown submit: err = %v, want ErrQueueClosed", err)
 	}
 }
 
 func TestQueueRetentionPrunesTerminalJobs(t *testing.T) {
 	entry := testEntry(t)
-	q := NewQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 8, nil, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		return &JobResult{}, nil
 	})
 	defer q.Shutdown(context.Background())
@@ -237,7 +237,7 @@ func TestQueueRetentionPrunesTerminalJobs(t *testing.T) {
 
 	var last string
 	for i := 0; i < 10; i++ {
-		job, err := q.Submit(entry, params(float64(10+i)))
+		job, err := q.Submit(entry, testParams(float64(10+i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,65 +256,21 @@ func TestQueueRetentionPrunesTerminalJobs(t *testing.T) {
 	}
 }
 
-func TestRunSparsifyEndToEnd(t *testing.T) {
-	// The production runner on a real (small) graph: target met, result
-	// connected, independent verification within the target.
+// TestQueueWithoutRunnerFailsJobs pins the injection contract: a queue
+// constructed without runners must fail jobs with ErrNoRunner instead of
+// panicking (the production runners live in cmd/serve, on top of the
+// graphspar facade).
+func TestQueueWithoutRunnerFailsJobs(t *testing.T) {
 	entry := testEntry(t)
-	p := params(50)
-	res, err := RunSparsify(context.Background(), entry.Graph, p)
+	q := NewQueue(1, 4, nil, nil, nil)
+	defer q.Shutdown(context.Background())
+	job, err := q.Submit(entry, testParams(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Connected {
-		t.Error("sparsifier disconnected")
-	}
-	if !res.TargetMet || res.SigmaSqAchieved > 50 {
-		t.Errorf("target: met=%v achieved=%v", res.TargetMet, res.SigmaSqAchieved)
-	}
-	if res.VerifiedCond <= 0 || res.VerifiedCond > 50 {
-		t.Errorf("verified condition number %v outside (0, 50]", res.VerifiedCond)
-	}
-	if res.EdgesKept != res.Sparsifier.M() || res.EdgesInput != entry.M {
-		t.Errorf("edge counts: %+v", res)
-	}
-	// Canceled context short-circuits.
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := RunSparsify(ctx, entry.Graph, p); !errors.Is(err, context.Canceled) {
-		t.Errorf("canceled ctx: err = %v", err)
-	}
-}
-
-func TestRunSparsifyShardedEndToEnd(t *testing.T) {
-	entry := testEntry(t)
-	p := SparsifyParams{SigmaSq: 50, Shards: 2, Workers: 2}
-	if err := p.Canon(); err != nil {
-		t.Fatal(err)
-	}
-	res, err := RunSparsify(context.Background(), entry.Graph, p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Connected {
-		t.Error("sharded sparsifier disconnected")
-	}
-	if res.Shards != 2 {
-		t.Errorf("shards = %d, want 2", res.Shards)
-	}
-	if res.VerifiedCond <= 0 {
-		t.Errorf("missing verification: %+v", res)
-	}
-	if res.ShardSpeedup <= 0 {
-		t.Errorf("missing speedup metadata: %+v", res)
-	}
-	if res.EdgesKept != res.Sparsifier.M() || res.EdgesInput != entry.M {
-		t.Errorf("edge counts: %+v", res)
-	}
-	// Cancellation propagates into the engine.
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := RunSparsify(ctx, entry.Graph, p); !errors.Is(err, context.Canceled) {
-		t.Errorf("canceled ctx: err = %v", err)
+	done := waitJob(t, q, job.ID)
+	if done.Status != StatusFailed || done.Error != ErrNoRunner.Error() {
+		t.Fatalf("job = %s %q, want failed with ErrNoRunner", done.Status, done.Error)
 	}
 }
 
@@ -322,13 +278,13 @@ func TestQueueShardedAndSingleShotDoNotAlias(t *testing.T) {
 	entry := testEntry(t)
 	cache := NewResultCache(16)
 	var calls atomic.Int64
-	q := NewQueue(1, 8, cache, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
+	q := newTestQueue(1, 8, cache, func(ctx context.Context, g *graph.Graph, p SparsifyParams) (*JobResult, error) {
 		calls.Add(1)
 		return &JobResult{SigmaSqAchieved: 10, TargetMet: true, Sparsifier: g, Shards: p.Shards}, nil
 	})
 	defer q.Shutdown(context.Background())
 
-	single := params(100)
+	single := testParams(100)
 	sharded := SparsifyParams{SigmaSq: 100, Shards: 4}
 	if err := sharded.Canon(); err != nil {
 		t.Fatal(err)
@@ -350,4 +306,10 @@ func TestQueueShardedAndSingleShotDoNotAlias(t *testing.T) {
 	if got := calls.Load(); got != 2 {
 		t.Errorf("sparsify calls = %d, want 2", got)
 	}
+}
+
+// newTestQueue builds a queue with a stub runner and no incremental
+// backend (tests that need one call NewQueue directly).
+func newTestQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc) *Queue {
+	return NewQueue(workers, backlog, cache, sparsify, nil)
 }

@@ -1,0 +1,390 @@
+package graphspar
+
+import (
+	"fmt"
+
+	"graphspar/internal/core"
+	"graphspar/internal/dynamic"
+	"graphspar/internal/engine"
+	"graphspar/internal/lsst"
+	"graphspar/internal/params"
+	"graphspar/internal/partition"
+)
+
+// TreeAlgorithm selects the spanning-tree backbone construction.
+type TreeAlgorithm = lsst.Algorithm
+
+// Backbone algorithms.
+const (
+	// TreeMaxWeight is the maximum-weight spanning tree (the default).
+	TreeMaxWeight = lsst.MaxWeight
+	// TreeDijkstra grows a shortest-path tree from a high-degree center.
+	TreeDijkstra = lsst.Dijkstra
+	// TreeAKPW is the low-stretch ball-growing decomposition.
+	TreeAKPW = lsst.AKPW
+)
+
+// ParseTreeAlgorithm resolves a backbone name ("maxweight", "dijkstra",
+// "akpw"; empty means the default) for flags and wire formats.
+func ParseTreeAlgorithm(name string) (TreeAlgorithm, error) { return lsst.Parse(name) }
+
+// SolverKind selects how L_P⁺ is applied inside the densification loop.
+type SolverKind = core.SolverKind
+
+// Inner solver choices.
+const (
+	// SolverDirect refactors the sparsifier with sparse Cholesky each
+	// round (the default: sparsifiers are ultra-sparse, direct is fastest).
+	SolverDirect = core.Direct
+	// SolverTreePCG runs PCG preconditioned by the backbone tree.
+	SolverTreePCG = core.TreePCG
+	// SolverAMG runs aggregation-multigrid-preconditioned PCG.
+	SolverAMG = core.AMG
+)
+
+// PartitionMethod selects the sharded engine's bisector.
+type PartitionMethod = partition.Method
+
+// Bisector backends.
+const (
+	// PartitionBFS is the solver-free O(n+m) level-set bisector (the
+	// engine's default: the partitioner must cost far less than the
+	// sparsifications it feeds).
+	PartitionBFS = partition.BFS
+	// PartitionDirect computes spectral cuts with a direct factorization.
+	PartitionDirect = partition.Direct
+	// PartitionIterative computes spectral cuts with sparsifier-
+	// preconditioned PCG.
+	PartitionIterative = partition.Iterative
+	// PartitionSparsifierOnly cuts along the sparsifier's own Fiedler
+	// vector.
+	PartitionSparsifierOnly = partition.SparsifierOnly
+)
+
+// ParsePartitionMethod resolves a bisector name ("bfs", "direct",
+// "iterative", "sparsifier-only") for flags and wire formats.
+func ParsePartitionMethod(name string) (PartitionMethod, error) {
+	return partition.ParseMethod(name)
+}
+
+// verifyMode is the three-valued verification switch: the zero value
+// follows each path's native default (sharded verifies, single-shot does
+// not).
+type verifyMode int
+
+const (
+	verifyAuto verifyMode = iota
+	verifyOn
+	verifyOff
+)
+
+// config is the resolved option set a Sparsifier carries. Zero fields
+// defer to the underlying pipeline defaults so that a facade call stays
+// bit-identical to the equivalent direct core/engine call.
+type config struct {
+	sigma2        float64
+	t             int
+	numVectors    int
+	treeAlg       TreeAlgorithm
+	solver        SolverKind
+	maxRounds     int
+	maxEdges      int
+	batchFraction float64
+	embedWorkers  int
+	seed          uint64
+
+	shards       int // 0 = auto, 1 = single-shot pinned, >1 = sharded pinned
+	workers      int
+	partitionSet bool
+	partition    PartitionMethod
+
+	verify      verifyMode
+	verifySteps int
+
+	refilterRounds int
+	driftFraction  float64
+}
+
+func defaultConfig() config {
+	return config{}
+}
+
+func (c *config) validate() error {
+	if err := params.Sigma2(c.sigma2); err != nil {
+		return err
+	}
+	if c.maxEdges > 0 && c.shards > 1 {
+		// The engine applies core's edge budget per shard, which would
+		// silently inflate the cap ~shards-fold; reject like the service
+		// does. (The auto policy respects the budget instead: shardsFor
+		// pins single-shot whenever MaxEdges is set.)
+		return fmt.Errorf("%w: WithMaxEdges is a single-shot knob; it does not compose with WithShards(%d)", params.ErrBadCombination, c.shards)
+	}
+	return nil
+}
+
+// effectiveSeed mirrors core.Options' seed defaulting (0 → 1) for the
+// places the facade seeds work itself (verification).
+func (c *config) effectiveSeed() uint64 {
+	if c.seed == 0 {
+		return 1
+	}
+	return c.seed
+}
+
+// verifyStepsFor resolves the independent-verification Lanczos depth:
+// the explicit WithVerification value, else min(30, n) with a floor of 2.
+func (c *config) verifyStepsFor(n int) int {
+	if c.verifySteps > 0 {
+		return c.verifySteps
+	}
+	k := 30
+	if n < k {
+		k = n
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// coreOptions assembles the exact core.Options a direct caller would
+// write; unset knobs stay zero so core applies its own defaults.
+func (c *config) coreOptions() core.Options {
+	return core.Options{
+		SigmaSq:       c.sigma2,
+		T:             c.t,
+		NumVectors:    c.numVectors,
+		TreeAlg:       c.treeAlg,
+		MaxRounds:     c.maxRounds,
+		BatchFraction: c.batchFraction,
+		Solver:        c.solver,
+		MaxEdges:      c.maxEdges,
+		EmbedWorkers:  c.embedWorkers,
+		Seed:          c.seed,
+	}
+}
+
+// partitionOptions builds the engine's bisector configuration, or nil for
+// the engine default when WithPartition was not used.
+func (c *config) partitionOptions() *partition.Options {
+	if !c.partitionSet {
+		return nil
+	}
+	return &partition.Options{Method: c.partition, SigmaSq: c.sigma2, Seed: c.effectiveSeed()}
+}
+
+// engineOptions assembles the engine.Options for a sharded run.
+func (c *config) engineOptions(shards int) engine.Options {
+	opt := engine.Options{
+		Shards:     shards,
+		Workers:    c.workers,
+		Sparsify:   c.coreOptions(),
+		Partition:  c.partitionOptions(),
+		SkipVerify: c.verify == verifyOff,
+		Seed:       c.effectiveSeed(),
+	}
+	if c.verifySteps > 0 {
+		opt.VerifySteps = c.verifySteps
+	}
+	return opt
+}
+
+// dynamicOptions assembles the maintainer configuration for Maintain and
+// Resume. shards is the resolved count from Sparsifier.shardsFor — the
+// same policy Run uses — so a stream's full rebuilds route through the
+// engine exactly when a Run on the same graph would.
+func (c *config) dynamicOptions(shards int) dynamic.Options {
+	opt := dynamic.Options{
+		Sparsify:       c.coreOptions(),
+		RefilterRounds: c.refilterRounds,
+		DriftFraction:  c.driftFraction,
+	}
+	if c.verifySteps > 0 {
+		opt.VerifySteps = c.verifySteps
+	}
+	if shards > 1 {
+		opt.RebuildShards = shards
+		opt.RebuildWorkers = c.workers
+		opt.RebuildPartition = c.partitionOptions()
+	}
+	return opt
+}
+
+// Option configures a Sparsifier under construction.
+type Option func(*config) error
+
+// WithSigma2 sets the similarity target σ², the upper bound on the
+// relative condition number κ(L_G, L_P) the sparsifier must certify
+// (e.g. 50, 100, 200; larger is sparser). Required, must be > 1.
+func WithSigma2(sigmaSq float64) Option {
+	return func(c *config) error {
+		c.sigma2 = sigmaSq
+		return nil
+	}
+}
+
+// WithShards pins the execution path of Run: 1 forces the single-shot
+// pipeline, k > 1 forces the sharded engine with k shards, and 0 restores
+// the default auto policy (single-shot below AutoShardEdges edges,
+// AutoShards shards above). With Maintain, k > 1 routes the stream's full
+// rebuilds through the engine.
+func WithShards(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("%w: got %d", ErrBadShards, k)
+		}
+		c.shards = k
+		return nil
+	}
+}
+
+// WithWorkers bounds how many shards sparsify concurrently in the sharded
+// engine (0 = all cores). Workers only affect wall-clock time, never the
+// result.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		c.workers = n
+		return nil
+	}
+}
+
+// WithPartition selects the sharded engine's bisector (default
+// PartitionBFS).
+func WithPartition(m PartitionMethod) Option {
+	return func(c *config) error {
+		c.partitionSet = true
+		c.partition = m
+		return nil
+	}
+}
+
+// WithSolver selects the inner L_P⁺ solver of the densification loop
+// (default SolverDirect).
+func WithSolver(kind SolverKind) Option {
+	return func(c *config) error {
+		c.solver = kind
+		return nil
+	}
+}
+
+// WithEmbedWorkers caps the goroutines used for the probe-vector solves
+// of each embedding pass (≤ 1 = sequential). Bit-identical results for
+// every worker count; purely a wall-clock knob.
+func WithEmbedWorkers(n int) Option {
+	return func(c *config) error {
+		c.embedWorkers = n
+		return nil
+	}
+}
+
+// WithSeed drives every random choice (backbone, probe vectors, shard
+// seeds). Results are deterministic per seed; 0 means the default seed 1.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithTreeAlgorithm picks the spanning-tree backbone construction
+// (default TreeMaxWeight).
+func WithTreeAlgorithm(a TreeAlgorithm) Option {
+	return func(c *config) error {
+		c.treeAlg = a
+		return nil
+	}
+}
+
+// WithEmbedSteps sets t, the generalized power-iteration step count of
+// the Joule-heat edge embedding (default 2; the paper shows t = 2
+// suffices).
+func WithEmbedSteps(t int) Option {
+	return func(c *config) error {
+		c.t = t
+		return nil
+	}
+}
+
+// WithProbeVectors sets r, the number of random probe vectors of the
+// embedding (default O(log |V|)).
+func WithProbeVectors(r int) Option {
+	return func(c *config) error {
+		c.numVectors = r
+		return nil
+	}
+}
+
+// WithMaxRounds caps the densification iterations (default 30). When the
+// budget is exhausted with the target unmet, Run returns the best
+// sparsifier found together with ErrNoTarget.
+func WithMaxRounds(n int) Option {
+	return func(c *config) error {
+		c.maxRounds = n
+		return nil
+	}
+}
+
+// WithMaxEdges caps the sparsifier size (tree edges included) for
+// equal-budget comparisons; 0 means unlimited. Single-shot only.
+func WithMaxEdges(n int) Option {
+	return func(c *config) error {
+		c.maxEdges = n
+		return nil
+	}
+}
+
+// WithBatchFraction caps how many passing candidates are added per
+// densification round, as a fraction of the candidate list (default
+// 0.25).
+func WithBatchFraction(f float64) Option {
+	return func(c *config) error {
+		c.batchFraction = f
+		return nil
+	}
+}
+
+// WithVerification enables the independent generalized-Lanczos check of
+// the final certificate on every Run (it is on by default only for the
+// sharded path) and sets its depth; steps ≤ 0 keeps the default depth
+// min(30, |V|). With Maintain, a positive steps value sets the per-batch
+// certificate depth (default 12).
+func WithVerification(steps int) Option {
+	return func(c *config) error {
+		c.verify = verifyOn
+		if steps > 0 {
+			c.verifySteps = steps
+		}
+		return nil
+	}
+}
+
+// WithoutVerification disables the independent certificate check on Run
+// (the sharded path otherwise runs it); the pipeline's own estimates are
+// still reported. Maintain ignores this: the maintainer's invariant is
+// the verified certificate.
+func WithoutVerification() Option {
+	return func(c *config) error {
+		c.verify = verifyOff
+		return nil
+	}
+}
+
+// WithRefilterRounds caps the certificate-restoration re-filter rounds a
+// Stream runs per update batch (default 4).
+func WithRefilterRounds(n int) Option {
+	return func(c *config) error {
+		c.refilterRounds = n
+		return nil
+	}
+}
+
+// WithDriftFraction bounds a Stream's embedding staleness: a full rebuild
+// is forced once cumulative churn exceeds this fraction of the edge count
+// at the last full build (default 0.25).
+func WithDriftFraction(f float64) Option {
+	return func(c *config) error {
+		c.driftFraction = f
+		return nil
+	}
+}
