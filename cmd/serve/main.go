@@ -1,11 +1,14 @@
 // Command serve runs sparsifyd, the long-running HTTP sparsification
 // service: a graph registry (MatrixMarket uploads or generator specs), an
-// async job queue bounded by a worker pool, and an LRU result cache.
+// async job queue bounded by a worker pool, an LRU result cache, and
+// persistent maintainer sessions that serve PATCH batches, streamed
+// update ingestion and incremental jobs from resident state.
 //
 // Usage:
 //
 //	serve -addr :8080 -workers 4 -backlog 64 -cache 128
 //	serve -addr :8080 -preload grid40=grid:40x40:uniform -preload road=usroads.mtx
+//	serve -addr :8080 -session-max 32 -session-budget-mb 1024 -session-ttl 15m
 //
 // See README.md for the HTTP API and curl examples.
 package main
@@ -47,6 +50,10 @@ func main() {
 		backlog = flag.Int("backlog", 64, "queued jobs beyond the running ones")
 		cache   = flag.Int("cache", 128, "result-cache capacity (0 disables)")
 		seed    = flag.Uint64("seed", 1, "seed for -preload generator specs")
+
+		sessMax    = flag.Int("session-max", 32, "resident maintainer sessions for true-streaming PATCH/incremental serving (0 disables)")
+		sessBudget = flag.Int("session-budget-mb", 1024, "memory budget for resident sessions, MiB (estimated)")
+		sessTTL    = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle this long (0 = never expire)")
 	)
 	flag.Var(&pre, "preload", "register name=SPEC at startup (repeatable); "+cli.SpecHelp)
 	flag.Parse()
@@ -59,12 +66,21 @@ func main() {
 		}
 		return v
 	}
+	ttl := *sessTTL
+	if ttl == 0 {
+		ttl = -1 // sessions.Options: negative = never expire
+	}
 	srv := service.NewServer(service.Config{
-		Workers:     *workers,
-		Backlog:     disableZero(*backlog),
-		CacheSize:   disableZero(*cache),
-		Sparsify:    runSparsify,
-		Incremental: runIncremental,
+		Workers:            *workers,
+		Backlog:            disableZero(*backlog),
+		CacheSize:          disableZero(*cache),
+		Sparsify:           runSparsify,
+		Incremental:        runIncremental,
+		Maintain:           runMaintain,
+		Resume:             runResume,
+		SessionMax:         disableZero(*sessMax),
+		SessionBudgetBytes: int64(*sessBudget) << 20,
+		SessionTTL:         ttl,
 	})
 	for _, p := range pre {
 		name, spec, _ := strings.Cut(p, "=")
@@ -92,8 +108,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("sparsifyd listening on %s (workers=%d backlog=%d cache=%d)",
-		*addr, *workers, *backlog, *cache)
+	log.Printf("sparsifyd listening on %s (workers=%d backlog=%d cache=%d sessions=%d budget=%dMiB ttl=%s)",
+		*addr, *workers, *backlog, *cache, *sessMax, *sessBudget, *sessTTL)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -111,6 +127,14 @@ func main() {
 	}
 	if err := srv.Queue().Shutdown(ctx); err != nil {
 		log.Printf("queue shutdown: %v", err)
+	}
+	// Drain resident sessions last: batches their actors already accepted
+	// finish applying (registry and maintainers stay in lockstep), then
+	// the maintainers are released.
+	if m := srv.Sessions(); m != nil {
+		if err := m.Close(ctx); err != nil {
+			log.Printf("session drain: %v", err)
+		}
 	}
 }
 

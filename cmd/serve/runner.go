@@ -7,6 +7,7 @@ import (
 	"graphspar"
 	"graphspar/internal/graph"
 	"graphspar/internal/service"
+	"graphspar/internal/sessions"
 )
 
 // This file binds the service's transport/scheduling layer to the public
@@ -98,6 +99,31 @@ func runSparsify(ctx context.Context, g *graph.Graph, p service.SparsifyParams) 
 		out.TotalStretch = res.TotalStretch
 	}
 	return out, nil
+}
+
+// runMaintain is the production MaintainFunc: it builds a live facade
+// Stream from scratch for the stream endpoint's cold path. The returned
+// *graphspar.Stream satisfies sessions.Maintainer (its methods alias the
+// internal types), so the service's session manager drives the exact
+// object a library user would hold.
+func runMaintain(ctx context.Context, g *graph.Graph, p service.SparsifyParams) (sessions.Maintainer, error) {
+	s, err := facadeFor(p, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.Maintain(ctx, g)
+}
+
+// runResume is the production ResumeFunc: it warm-starts a live facade
+// Stream from a prior job's sparsifier. Incremental jobs answer from it
+// and then leave it resident as the graph's session, so the next
+// PATCH/stream/job skips the reconcile this call just paid.
+func runResume(ctx context.Context, g, warm *graph.Graph, p service.SparsifyParams) (sessions.Maintainer, error) {
+	s, err := facadeFor(p, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.Resume(ctx, g, warm)
 }
 
 // runIncremental is the production IncrementalFunc: it warm-starts a

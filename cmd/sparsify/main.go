@@ -9,20 +9,36 @@
 //	sparsify -graph problem.mtx -sigma2 50 -tree akpw -t 2
 //	sparsify -graph grid:512x512:uniform -sigma2 100 -shards 8 -workers 4
 //	sparsify -graph grid:200x200 -sigma2 100 -update-stream events.txt
+//	sparsify -remote http://localhost:8080 -graph mygraph -sigma2 100 -update-stream events.txt
 //
 // With -update-stream, the graph is sparsified once and the edge-event
 // file (lines "+ u v w" / "- u v" / "= u v w", batches separated by
 // "commit") is replayed through the incremental maintainer, reporting the
 // certificate after every batch and comparing the total incremental cost
 // against one from-scratch re-sparsification of the final graph.
+//
+// With -remote URL, the event file is instead replayed against a live
+// sparsifyd server: the body is streamed to POST
+// /v1/graphs/{name}/stream (-graph names the registered graph) and the
+// server's per-batch certificate lines are relayed to stdout. The
+// server keeps the maintainer resident between requests, so consecutive
+// replays — and interleaved PATCHes or incremental jobs — all reuse the
+// same live session.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"graphspar"
@@ -41,10 +57,22 @@ func main() {
 		partAlg   = flag.String("partition", "bfs", "engine bisector: bfs | direct | iterative | sparsifier-only")
 		embedWork = flag.Int("embed-workers", 0, "goroutines for the probe-vector solves (0 = sequential; any value is bit-identical)")
 		stream    = flag.String("update-stream", "", "edge-event file to replay through the incremental maintainer after the initial sparsification")
+		remote    = flag.String("remote", "", "base URL of a sparsifyd server; -update-stream replays the event file against its /stream endpoint (-graph names the registered graph)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print per-round densification stats (per shard in sharded mode)")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		if *stream == "" {
+			fatal(errors.New("-remote requires -update-stream (it replays an event file against a live server)"))
+		}
+		if *spec == "" {
+			fatal(errors.New("-remote requires -graph naming a graph registered on the server"))
+		}
+		runRemoteStream(*remote, *spec, *stream, remoteQuery(*sigmaSq, *tSteps, *rVecs, *treeAlg, *partAlg, *shards, *workers, *seed))
+		return
+	}
 
 	alg, err := graphspar.ParseTreeAlgorithm(*treeAlg)
 	if err != nil {
@@ -198,6 +226,70 @@ func runUpdateStream(g *graphspar.Graph, s *graphspar.Sparsifier, path, out stri
 	fmt.Printf("full re-sparsify of final graph: |Es|=%d in %s  (%.1fx the per-batch incremental cost)\n",
 		res.Sparsifier.M(), fullDur.Round(time.Millisecond), float64(fullDur)/float64(perBatch))
 	save(out, st.Sparsifier())
+}
+
+// remoteQuery assembles the stream endpoint's query string from the
+// local flags, so a remote replay is parameterized exactly like a local
+// one.
+func remoteQuery(sigmaSq float64, t, r int, tree, part string, shards, workers int, seed uint64) url.Values {
+	q := url.Values{}
+	q.Set("sigma2", strconv.FormatFloat(sigmaSq, 'g', -1, 64))
+	q.Set("t", strconv.Itoa(t))
+	if r > 0 {
+		q.Set("r", strconv.Itoa(r))
+	}
+	q.Set("tree", tree)
+	q.Set("seed", strconv.FormatUint(seed, 10))
+	if shards > 1 {
+		q.Set("shards", strconv.Itoa(shards))
+		q.Set("workers", strconv.Itoa(workers))
+		q.Set("partition", part)
+	}
+	return q
+}
+
+// runRemoteStream streams an event file to a live server's
+// POST /v1/graphs/{name}/stream and relays the NDJSON result lines,
+// exiting non-zero if the server reports an error.
+func runRemoteStream(base, name, path string, q url.Values) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	endpoint := strings.TrimSuffix(base, "/") + "/v1/graphs/" + url.PathEscape(name) + "/stream?" + q.Encode()
+	resp, err := http.Post(endpoint, "application/x-ndjson", f)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	failed := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fmt.Println(line)
+		var probe struct {
+			Error    string `json:"error"`
+			Rejected bool   `json:"rejected"`
+		}
+		if json.Unmarshal([]byte(line), &probe) == nil && probe.Error != "" && !probe.Rejected {
+			failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		fatal(errors.New("remote stream reported a fatal error (see output above)"))
+	}
 }
 
 func printRounds(rounds []graphspar.RoundStats) {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"graphspar"
@@ -88,5 +93,55 @@ func TestRunUpdateStreamSharded(t *testing.T) {
 	}
 	if !g2.IsConnected() {
 		t.Fatal("output sparsifier must be connected")
+	}
+}
+
+// TestRemoteQuery checks the flag → query-string mapping the -remote
+// mode ships to the server's stream endpoint.
+func TestRemoteQuery(t *testing.T) {
+	q := remoteQuery(100, 2, 0, "maxweight", "bfs", 1, 0, 7)
+	if q.Get("sigma2") != "100" || q.Get("t") != "2" || q.Get("seed") != "7" {
+		t.Fatalf("query = %v", q)
+	}
+	if q.Get("shards") != "" || q.Get("partition") != "" {
+		t.Fatalf("single-shot must not ship engine knobs: %v", q)
+	}
+	q = remoteQuery(50, 3, 8, "akpw", "direct", 4, 2, 1)
+	if q.Get("shards") != "4" || q.Get("workers") != "2" || q.Get("partition") != "direct" || q.Get("r") != "8" {
+		t.Fatalf("sharded query = %v", q)
+	}
+}
+
+// TestRunRemoteStream replays an event file against a stub server and
+// checks the body reaches the right endpoint and the NDJSON result
+// lines are relayed.
+func TestRunRemoteStream(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.txt")
+	if err := os.WriteFile(events, []byte("= 0 1 2.5\ncommit\n= 0 1 1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var gotPath, gotBody, gotSigma string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotSigma = r.URL.Query().Get("sigma2")
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"batch":1,"updates":1,"applied":true,"condition_number":12.5,"target_met":true}`)
+		fmt.Fprintln(w, `{"batch":2,"updates":1,"applied":true,"condition_number":12.5,"target_met":true}`)
+		fmt.Fprintln(w, `{"done":true,"batches":2,"applied_total":2}`)
+	}))
+	defer srv.Close()
+
+	runRemoteStream(srv.URL, "mygraph", events, remoteQuery(75, 2, 0, "maxweight", "bfs", 1, 0, 1))
+	if gotPath != "/v1/graphs/mygraph/stream" {
+		t.Fatalf("path = %q", gotPath)
+	}
+	if gotSigma != "75" {
+		t.Fatalf("sigma2 = %q", gotSigma)
+	}
+	if !strings.Contains(gotBody, "= 0 1 2.5") || !strings.Contains(gotBody, "commit") {
+		t.Fatalf("body = %q", gotBody)
 	}
 }

@@ -275,3 +275,85 @@ func TestApplyToGraphEmptyBatch(t *testing.T) {
 		t.Fatal("empty batch must return the graph unchanged")
 	}
 }
+
+// TestBatchedVerifyEquivalence runs the same large update batch through a
+// maintainer with batched certificate verification (one Lanczos check per
+// settle pass) and one with per-round verification, asserting both end
+// within the σ² target and that batching actually reduced the number of
+// Lanczos verifications (the batch=256 regime's dominant cost).
+func TestBatchedVerifyEquivalence(t *testing.T) {
+	const sigmaSq = 50
+	build := func(threshold int) (*dynamic.Maintainer, *graph.Graph) {
+		g, err := gen.Grid2D(16, 16, gen.UniformWeights, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := dynamic.New(context.Background(), g, dynamic.Options{
+			Sparsify:             core.Options{SigmaSq: sigmaSq, Seed: 1},
+			BatchVerifyThreshold: threshold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, g
+	}
+	batched, g := build(1)   // every Apply settles in batched mode
+	perRound, _ := build(-1) // batching disabled: one verify per round
+
+	// Delete a swath of off-tree sparsifier edges: no backbone repairs
+	// fire, the sparsifier thins out, the certificate drifts past the
+	// safety margin, and the settle pass runs real re-filter rounds in
+	// both maintainers.
+	tree := make(map[[2]int]bool)
+	for _, e := range batched.Backbone().Edges() {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		tree[[2]int{e.U, e.V}] = true
+	}
+	var batch []dynamic.Update
+	for _, e := range batched.Sparsifier().Edges() {
+		if len(batch) >= 40 {
+			break
+		}
+		if tree[[2]int{e.U, e.V}] {
+			continue
+		}
+		// Keep the graph connected (off-tree edges of a grid are never
+		// bridges, but check via a trial application to stay robust).
+		trial := append(append([]dynamic.Update(nil), batch...), dynamic.Delete(e.U, e.V))
+		if _, err := dynamic.ApplyToGraph(g, trial); err != nil {
+			continue
+		}
+		batch = append(batch, dynamic.Delete(e.U, e.V))
+	}
+	if len(batch) < 8 {
+		t.Fatalf("only %d deletable off-tree sparsifier edges found", len(batch))
+	}
+
+	if err := batched.Apply(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := perRound.Apply(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariant(t, batched, sigmaSq)
+	checkInvariant(t, perRound, sigmaSq)
+
+	bs, ps := batched.Stats(), perRound.Stats()
+	if bs.BatchedSettles == 0 {
+		t.Fatalf("batched maintainer never entered batched settle: %+v", bs)
+	}
+	if ps.BatchedSettles != 0 {
+		t.Fatalf("per-round maintainer entered batched settle: %+v", ps)
+	}
+	// Both re-filtered; the batched maintainer must have paid fewer
+	// verifications for at least as many admission rounds.
+	if bs.Refilters == 0 || ps.Refilters == 0 {
+		t.Skipf("no refilter rounds ran (batched=%d per-round=%d); batch too gentle", bs.Refilters, ps.Refilters)
+	}
+	if ps.Refilters > 1 && bs.Verifies >= ps.Verifies {
+		t.Errorf("batched verifies = %d, want fewer than per-round %d (refilters %d vs %d)",
+			bs.Verifies, ps.Verifies, bs.Refilters, ps.Refilters)
+	}
+}

@@ -34,41 +34,18 @@ func ParseEvents(r io.Reader) ([][]Update, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if line == "commit" {
+		u, commit, err := ParseEventLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if commit {
 			if len(cur) > 0 {
 				batches = append(batches, cur)
 				cur = nil
 			}
 			continue
 		}
-		f := strings.Fields(line)
-		op, err := ParseOp(f[0])
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		want := 3
-		if op == OpDelete {
-			want = 2
-		}
-		if len(f) != want+1 {
-			return nil, fmt.Errorf("line %d: %w: %q needs %d fields", lineNo, ErrBadUpdate, f[0], want+1)
-		}
-		u, err := strconv.Atoi(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w: %v", lineNo, ErrBadUpdate, err)
-		}
-		v, err := strconv.Atoi(f[2])
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w: %v", lineNo, ErrBadUpdate, err)
-		}
-		w := 0.0
-		if op != OpDelete {
-			w, err = strconv.ParseFloat(f[3], 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w: %v", lineNo, ErrBadUpdate, err)
-			}
-		}
-		cur = append(cur, Update{Op: op, U: u, V: v, W: w})
+		cur = append(cur, u)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -77,6 +54,48 @@ func ParseEvents(r io.Reader) ([][]Update, error) {
 		batches = append(batches, cur)
 	}
 	return batches, nil
+}
+
+// ParseEventLine decodes one non-blank, non-comment line of the event
+// wire format: "commit" reports a batch boundary, anything else is one
+// update ("+ u v w", "- u v", "= u v w", or the named-op spellings).
+// Incremental decoders (the service's NDJSON stream endpoint) share it
+// with the batch-at-once ParseEvents.
+func ParseEventLine(line string) (Update, bool, error) {
+	if line == "commit" {
+		return Update{}, true, nil
+	}
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return Update{}, false, fmt.Errorf("%w: empty event line", ErrBadUpdate)
+	}
+	op, err := ParseOp(f[0])
+	if err != nil {
+		return Update{}, false, err
+	}
+	want := 3
+	if op == OpDelete {
+		want = 2
+	}
+	if len(f) != want+1 {
+		return Update{}, false, fmt.Errorf("%w: %q needs %d fields", ErrBadUpdate, f[0], want+1)
+	}
+	u, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Update{}, false, fmt.Errorf("%w: %v", ErrBadUpdate, err)
+	}
+	v, err := strconv.Atoi(f[2])
+	if err != nil {
+		return Update{}, false, fmt.Errorf("%w: %v", ErrBadUpdate, err)
+	}
+	w := 0.0
+	if op != OpDelete {
+		w, err = strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return Update{}, false, fmt.Errorf("%w: %v", ErrBadUpdate, err)
+		}
+	}
+	return Update{Op: op, U: u, V: v, W: w}, false, nil
 }
 
 // WriteEvents is the inverse of ParseEvents: it serializes batches with

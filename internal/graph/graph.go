@@ -9,9 +9,14 @@
 package graph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"graphspar/internal/sparse"
 )
@@ -33,13 +38,18 @@ type Edge struct {
 }
 
 // Graph is an undirected weighted graph. Construct with New or Builder
-// functions; the zero value is an empty graph with no vertices.
+// functions; the zero value is an empty graph with no vertices. A Graph
+// is immutable after construction and safe for concurrent readers: the
+// lazily built adjacency index is guarded by a sync.Once, so one Graph
+// may be shared between the service registry, job workers and a
+// resident maintainer session without external locking.
 type Graph struct {
 	n     int
 	edges []Edge
 
 	// Lazily built adjacency: for vertex u, neighbors are
 	// adjTo[adjPtr[u]:adjPtr[u+1]] with parallel edge ids adjEdge.
+	adjOnce sync.Once
 	adjPtr  []int
 	adjTo   []int
 	adjEdge []int
@@ -99,6 +109,28 @@ func MustNew(n int, edges []Edge) *Graph {
 	return g
 }
 
+// ContentHash content-addresses the graph: sha256 over the vertex count
+// and the normalized edge list (New guarantees U < V and (U,V)-sorted
+// order, so structurally equal graphs hash equal regardless of the edge
+// order they were supplied in). It is the one canonical fingerprint —
+// the service registry and the session manager both compare these, so a
+// single encoding must back them all.
+func (g *Graph) ContentHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.n))
+	h.Write(buf[:])
+	for _, e := range g.edges {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.U))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.V))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.W))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -120,11 +152,13 @@ func (g *Graph) TotalWeight() float64 {
 	return s
 }
 
-// buildAdj constructs the CSR adjacency index once.
+// buildAdj constructs the CSR adjacency index once; concurrent callers
+// synchronize on the Once so the index is published exactly once.
 func (g *Graph) buildAdj() {
-	if g.adjPtr != nil {
-		return
-	}
+	g.adjOnce.Do(g.buildAdjLocked)
+}
+
+func (g *Graph) buildAdjLocked() {
 	ptr := make([]int, g.n+1)
 	for _, e := range g.edges {
 		ptr[e.U+1]++

@@ -137,6 +137,18 @@ func (p SparsifyParams) key(graphHash string) string {
 		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition)
 }
 
+// sessionKey fingerprints the parameters that shape a live maintainer —
+// everything that changes the maintained sparsifier — so a persistent
+// session is only reused by requests that would have configured it
+// identically. Workers is excluded (wall-clock only, like the cache
+// key), as are the warm-start selectors (they pick a session's seed
+// state, not its behavior) and MaxEdges (it cannot compose with
+// maintenance at all).
+func (p SparsifyParams) sessionKey() string {
+	return fmt.Sprintf("s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|sh=%d|part=%s",
+		p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.Shards, p.Partition)
+}
+
 // family groups cache lines that differ only in σ², enabling the
 // coarser-target lookup: a sparsifier built for σ²=50 also certifies any
 // request for σ² ≥ 50 on the same graph with the same knobs. Sharded and

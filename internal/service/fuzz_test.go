@@ -137,3 +137,36 @@ func FuzzPatchEdges(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamDecoder throws arbitrary bodies at the stream endpoint's
+// incremental decoder: it must never panic, never hand back an empty
+// batch, never exceed the batch cap, and always terminate (EOF or a
+// decode error).
+func FuzzStreamDecoder(f *testing.F) {
+	f.Add("+ 0 1 1.5\ncommit\n- 0 1\n")
+	f.Add("{\"op\":\"insert\",\"u\":0,\"v\":1,\"w\":1}\n{\"op\":\"commit\"}\n{\"op\":\"delete\",\"u\":0,\"v\":1}\n")
+	f.Add("# comment\n\n= 3 4 2.25\ncommit\ncommit\n")
+	f.Add("insert 1 2 0.5\nreweight 1 2 2\n")
+	f.Add("+ 0\n")
+	f.Add("{\n")
+	f.Add("{\"op\":\"bogus\",\"u\":1,\"v\":2}\n")
+	f.Add("= 1 2 1e999\n")
+	f.Add("commit\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, body string) {
+		const cap = 16
+		d := newStreamDecoder(strings.NewReader(body), cap)
+		for {
+			batch, err := d.Next()
+			if err != nil {
+				return // io.EOF or a decode error both terminate the stream
+			}
+			if len(batch) == 0 {
+				t.Fatal("decoder returned an empty batch")
+			}
+			if len(batch) > cap {
+				t.Fatalf("batch of %d exceeds the %d cap", len(batch), cap)
+			}
+		}
+	})
+}

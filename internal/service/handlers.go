@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,12 +9,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"graphspar/internal/cli"
 	"graphspar/internal/dynamic"
 	"graphspar/internal/graph"
 	"graphspar/internal/mm"
 	"graphspar/internal/params"
+	"graphspar/internal/sessions"
 )
 
 // maxUploadBytes bounds MatrixMarket uploads (64 MiB).
@@ -32,7 +35,27 @@ type Config struct {
 	// inject stubs. Jobs needing a nil runner fail with ErrNoRunner.
 	Sparsify    SparsifyFunc
 	Incremental IncrementalFunc
+	// Maintain builds a live maintainer from scratch (the stream
+	// endpoint's cold path) and Resume warm-starts one from a prior job's
+	// sparsifier (incremental jobs). Facade-backed and injected like the
+	// runners above. When both are nil, persistent sessions are off and
+	// every request takes the legacy per-request path.
+	Maintain MaintainFunc
+	Resume   ResumeFunc
+	// SessionMax caps resident maintainer sessions (0 = default 32;
+	// negative disables sessions outright). SessionBudgetBytes bounds
+	// their summed memory estimate (0 = 1 GiB) and SessionTTL their idle
+	// lifetime (0 = 15 min; negative = never expire).
+	SessionMax         int
+	SessionBudgetBytes int64
+	SessionTTL         time.Duration
 }
+
+// MaintainFunc builds a live maintainer for a graph from scratch.
+type MaintainFunc func(ctx context.Context, g *graph.Graph, p SparsifyParams) (sessions.Maintainer, error)
+
+// ResumeFunc warm-starts a live maintainer from a prior sparsifier.
+type ResumeFunc func(ctx context.Context, g, warm *graph.Graph, p SparsifyParams) (sessions.Maintainer, error)
 
 func (c *Config) defaults() {
 	if c.Workers <= 0 {
@@ -58,11 +81,18 @@ func (c *Config) defaults() {
 	}
 }
 
-// Server ties the registry, queue and cache together behind an HTTP API.
+// Server ties the registry, queue, cache and persistent sessions
+// together behind an HTTP API.
 type Server struct {
 	registry *Registry
 	cache    *ResultCache
 	queue    *Queue
+	sessions *sessions.Manager // nil when sessions are disabled
+	maintain MaintainFunc
+	// maintainSem bounds concurrent cold maintainer builds on the stream
+	// endpoint to the same width as the job worker pool — a cold stream
+	// is a full sparsification and must not dodge the -workers bound.
+	maintainSem chan struct{}
 }
 
 // NewServer builds a ready-to-serve sparsifyd instance.
@@ -73,11 +103,29 @@ func NewServer(cfg Config) *Server {
 	queue.SetRetain(cfg.RetainJobs)
 	registry := NewRegistry()
 	queue.SetCacheGate(registry.HasHash)
-	return &Server{
+	s := &Server{
 		registry: registry,
 		cache:    cache,
 		queue:    queue,
 	}
+	if (cfg.Maintain != nil || cfg.Resume != nil) && cfg.SessionMax >= 0 {
+		s.sessions = sessions.NewManager(sessions.Options{
+			MaxSessions:      cfg.SessionMax,
+			MaxResidentBytes: cfg.SessionBudgetBytes,
+			IdleTTL:          cfg.SessionTTL,
+			Hash:             HashGraph,
+		})
+		s.maintain = cfg.Maintain
+		s.maintainSem = make(chan struct{}, cfg.Workers)
+		queue.SetSessions(s.sessions, cfg.Resume, func(name string) (string, bool) {
+			e, err := registry.Get(name)
+			if err != nil {
+				return "", false
+			}
+			return e.Hash, true
+		})
+	}
+	return s
 }
 
 // Registry exposes the graph store (for CLI-side preloading).
@@ -85,6 +133,10 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // Queue exposes the job queue (for shutdown wiring).
 func (s *Server) Queue() *Queue { return s.queue }
+
+// Sessions exposes the persistent-session manager (nil when disabled);
+// cmd/serve drains it on shutdown.
+func (s *Server) Sessions() *sessions.Manager { return s.sessions }
 
 // Handler returns the routed HTTP API:
 //
@@ -94,6 +146,7 @@ func (s *Server) Queue() *Queue { return s.queue }
 //	GET    /v1/graphs/{name}                              metadata
 //	GET    /v1/graphs/{name}/laplacian.mtx                Laplacian download
 //	PATCH  /v1/graphs/{name}/edges   {updates: [...]}     atomic edge insert/delete/reweight batch
+//	POST   /v1/graphs/{name}/stream  NDJSON/event lines   chunked update-batch ingestion via the persistent session
 //	DELETE /v1/graphs/{name}                              remove
 //	POST   /v1/jobs                  {graph, sigma2, ...} submit (cache-aware)
 //	GET    /v1/jobs                                       list
@@ -110,6 +163,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("GET /v1/graphs/{name}/laplacian.mtx", s.handleGraphLaplacian)
 	mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.handlePatchEdges)
+	mux.HandleFunc("POST /v1/graphs/{name}/stream", s.handleStreamEvents)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -333,9 +387,14 @@ func (s *Server) handleGraphLaplacian(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	if err := s.registry.Delete(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.registry.Delete(name); err != nil {
 		writeErr(w, errStatus(err), err)
 		return
+	}
+	if s.sessions != nil {
+		// The resident maintainer is for a graph that no longer exists.
+		s.sessions.Invalidate(name)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -456,10 +515,16 @@ func (s *Server) handleJobEdgesJSON(w http.ResponseWriter, r *http.Request) {
 // ----------------------------------------------------------------- health
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var sess *sessions.ManagerStats
+	if s.sessions != nil {
+		st := s.sessions.Stats()
+		sess = &st
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status string     `json:"status"`
-		Graphs int        `json:"graphs"`
-		Queued int        `json:"queued"`
-		Cache  CacheStats `json:"cache"`
-	}{"ok", s.registry.Len(), s.queue.Depth(), s.cache.Stats()})
+		Status   string                 `json:"status"`
+		Graphs   int                    `json:"graphs"`
+		Queued   int                    `json:"queued"`
+		Cache    CacheStats             `json:"cache"`
+		Sessions *sessions.ManagerStats `json:"sessions,omitempty"`
+	}{"ok", s.registry.Len(), s.queue.Depth(), s.cache.Stats(), sess})
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphspar/internal/graph"
+	"graphspar/internal/sessions"
 )
 
 // Queue errors, mapped to HTTP status codes by the handlers.
@@ -65,11 +66,17 @@ type JobResult struct {
 	// Incremental-job metadata. WarmSource names the job whose sparsifier
 	// seeded the warm start ("" = no warm start was available and the job
 	// fell back to a from-scratch run). Refilters/Rebuilds count the
-	// maintainer's certificate-restoration work.
-	Incremental bool   `json:"incremental,omitempty"`
-	WarmSource  string `json:"warm_source,omitempty"`
-	Refilters   int    `json:"refilter_rounds,omitempty"`
-	Rebuilds    int    `json:"rebuilds,omitempty"`
+	// maintainer's certificate-restoration work. SessionHit reports that
+	// a resident session served the job directly — the per-job
+	// dynamic.Resume reconcile/re-embed was skipped entirely — and
+	// Session carries the session telemetry whenever a session served the
+	// job or was installed by it.
+	Incremental bool            `json:"incremental,omitempty"`
+	WarmSource  string          `json:"warm_source,omitempty"`
+	Refilters   int             `json:"refilter_rounds,omitempty"`
+	Rebuilds    int             `json:"rebuilds,omitempty"`
+	SessionHit  bool            `json:"session_hit,omitempty"`
+	Session     *sessions.Stats `json:"session,omitempty"`
 
 	Sparsifier *graph.Graph `json:"-"`
 }
@@ -127,6 +134,23 @@ type Queue struct {
 	cacheGate   func(hash string) bool // nil = always cache
 	sparsify    SparsifyFunc
 	incremental IncrementalFunc
+	sessionMgr  *sessions.Manager
+	resume      ResumeFunc
+	currentHash func(name string) (string, bool)
+}
+
+// SetSessions attaches the persistent-session manager, the runner that
+// warm-starts live maintainers, and a lookup for a graph's *current*
+// content hash. With all three set, incremental jobs are served straight
+// from a matching resident session (skipping the per-job dynamic.Resume
+// reconcile) and cold incremental jobs install the session they build,
+// so the next PATCH/stream/job finds it warm. The hash lookup guards
+// against stale job snapshots: a job that sat queued across a PATCH must
+// neither be served from (nor overwrite) the newer graph's session.
+func (q *Queue) SetSessions(mgr *sessions.Manager, resume ResumeFunc, currentHash func(name string) (string, bool)) {
+	q.mu.Lock()
+	q.sessionMgr, q.resume, q.currentHash = mgr, resume, currentHash
+	q.mu.Unlock()
 }
 
 // SetCacheGate installs a predicate consulted before caching a finished
@@ -287,10 +311,51 @@ func (q *Queue) run(job *Job) {
 	}
 }
 
-// runIncremental resolves the warm-start sparsifier and dispatches to the
-// incremental runner, falling back to the plain runner when no usable warm
-// start exists (first job for a graph, or the prior result was pruned).
+// runIncremental serves an incremental job the cheapest way available:
+// a resident session that matches the graph's current content hash and
+// the job's parameter fingerprint answers directly (no Resume, no
+// reconcile — the maintained sparsifier is already certified for this
+// exact graph); otherwise the warm-start sparsifier is resolved and the
+// Resume runner builds a live maintainer that both answers the job and
+// becomes the graph's session; with sessions off, the legacy
+// IncrementalFunc runs; and with no warm start at all the job falls back
+// to a from-scratch run.
 func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult, error) {
+	q.mu.Lock()
+	mgr, resume, currentHash := q.sessionMgr, q.resume, q.currentHash
+	q.mu.Unlock()
+
+	// The session layer only engages while the job's submission-time
+	// graph snapshot is still the registry's current graph. If a PATCH
+	// or stream batch landed while this job sat queued, probing Get with
+	// the stale hash would tear down the newer (healthy) session, and
+	// installing a maintainer built on the snapshot would replace it with
+	// stale state — so a superseded job runs the legacy cold path against
+	// its snapshot and leaves the resident session alone.
+	if mgr != nil && currentHash != nil {
+		if h, ok := currentHash(entry.Name); !ok || h != entry.Hash {
+			mgr = nil
+		}
+	}
+
+	// A pinned warm_job names an explicit lineage; honor it over the
+	// resident session.
+	if mgr != nil && p.WarmJob == "" {
+		if sess := mgr.Get(entry.Name, entry.Hash, p.sessionKey()); sess != nil {
+			res, err := sessionJobResult(q.ctx, sess)
+			if err == nil {
+				res.Incremental = true
+				res.SessionHit = true
+				return res, nil
+			}
+			// ErrSessionGone (evicted between Get and Do) or cancellation:
+			// fall through to the cold path.
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+		}
+	}
+
 	warm, src, err := q.warmSparsifier(entry, p.WarmJob)
 	if err != nil {
 		return nil, err
@@ -302,6 +367,29 @@ func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult,
 		}
 		return res, err
 	}
+	if mgr != nil && resume != nil {
+		m, err := resume(q.ctx, entry.Graph, warm, p)
+		if err != nil {
+			return nil, err
+		}
+		res := maintainerJobResult(m)
+		res.Incremental = true
+		res.WarmSource = src
+		// Keep the maintainer resident: the next PATCH, stream batch or
+		// incremental job for this graph skips the reconcile we just paid.
+		// Re-check freshness right before installing — the Resume took
+		// real time, and replacing a session that advanced meanwhile
+		// would swap warm state for stale state. (The residual race is
+		// harmless: a stale install only ever misses on Get and is reaped
+		// by the next cold PATCH's InvalidateStale or the TTL.)
+		if currentHash != nil {
+			if h, ok := currentHash(entry.Name); !ok || h != entry.Hash {
+				return res, nil
+			}
+		}
+		mgr.Install(entry.Name, p.sessionKey(), m)
+		return res, nil
+	}
 	if q.incremental == nil {
 		return nil, ErrNoRunner
 	}
@@ -311,6 +399,48 @@ func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult,
 		res.WarmSource = src
 	}
 	return res, err
+}
+
+// sessionJobResult snapshots a resident session into a job result
+// through its single-writer loop. The maintainer's Refilters/Rebuilds
+// are lifetime counters across every batch the session ever served, not
+// this job's work — the job itself did none — so the per-job fields stay
+// zero and the cumulative numbers ride in the Session telemetry.
+func sessionJobResult(ctx context.Context, sess *sessions.Session) (*JobResult, error) {
+	var res *JobResult
+	err := sess.Do(ctx, func(m sessions.Maintainer) error {
+		res = maintainerJobResult(m)
+		res.Rounds, res.Refilters, res.Rebuilds = 0, 0, 0
+		return nil
+	})
+	return res, err
+}
+
+// maintainerJobResult summarizes a live maintainer exactly the way the
+// injected incremental runner summarizes a finished Resume: the
+// maintainer's independently re-verified per-batch certificate is the
+// job's verified κ. For a maintainer freshly built by this job's Resume
+// the counters are per-job; session-hit snapshots zero them (see
+// sessionJobResult).
+func maintainerJobResult(m sessions.Maintainer) *JobResult {
+	sp := m.Sparsifier()
+	st := m.Stats()
+	sst := sessions.Snapshot(m)
+	return &JobResult{
+		EdgesKept:       sp.M(),
+		EdgesInput:      m.Graph().M(),
+		Density:         float64(sp.M()) / float64(sp.N()),
+		Reduction:       float64(m.Graph().M()) / float64(sp.M()),
+		SigmaSqAchieved: m.Cond(),
+		TargetMet:       m.TargetMet(),
+		Rounds:          st.Refilters,
+		Connected:       sp.IsConnected(),
+		VerifiedCond:    m.Cond(),
+		Refilters:       st.Refilters,
+		Rebuilds:        st.Rebuilds,
+		Session:         &sst,
+		Sparsifier:      sp,
+	}
 }
 
 // warmSparsifier picks the warm-start source: the named job when WarmJob

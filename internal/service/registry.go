@@ -8,12 +8,8 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"errors"
 	"fmt"
-	"math"
 	"regexp"
 	"sort"
 	"strings"
@@ -57,25 +53,10 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*GraphEntry)}
 }
 
-// HashGraph content-addresses a graph: sha256 over the vertex count and
-// the normalized edge list (graph.New guarantees U < V and (U,V)-sorted
-// order, so structurally equal graphs hash equal regardless of the edge
-// order they were supplied in).
-func HashGraph(g *graph.Graph) string {
-	h := sha256.New()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
-	h.Write(buf[:])
-	for _, e := range g.Edges() {
-		binary.LittleEndian.PutUint64(buf[:], uint64(e.U))
-		h.Write(buf[:])
-		binary.LittleEndian.PutUint64(buf[:], uint64(e.V))
-		h.Write(buf[:])
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.W))
-		h.Write(buf[:])
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
+// HashGraph content-addresses a graph via the one canonical encoding
+// (graph.ContentHash) — the session manager compares these against
+// registry hashes, so there must be exactly one implementation.
+func HashGraph(g *graph.Graph) string { return g.ContentHash() }
 
 // Register stores g under name. The name must be URL-safe and unused;
 // re-registering the same name with an identical graph is an idempotent

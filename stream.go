@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"graphspar/internal/dynamic"
+	"graphspar/internal/sessions"
 )
 
 // Update is one edge mutation applied through a Stream. Endpoints may be
@@ -89,3 +90,19 @@ func (s *Stream) TargetMet() bool { return s.m.TargetMet() }
 
 // Stats snapshots the maintenance counters.
 func (s *Stream) Stats() StreamStats { return s.m.Stats() }
+
+// SessionStats is the resident-session telemetry shared by library
+// streams and the HTTP service's persistent sessions: estimated resident
+// bytes, batches/updates applied, rebuilds forced, re-filter rounds and
+// the current certificate. A Stream held in a library process and a
+// session resident in sparsifyd report the same numbers for the same
+// maintenance work.
+type SessionStats = sessions.Stats
+
+// SessionStats snapshots the stream's session telemetry.
+func (s *Stream) SessionStats() SessionStats { return sessions.Snapshot(s.m) }
+
+// ResidentBytes estimates the heap the stream keeps resident between
+// applies (both graphs, the sparsifier's factorization, the retained
+// probe embedding). Session managers budget memory with it.
+func (s *Stream) ResidentBytes() int64 { return s.m.ResidentBytes() }
