@@ -1,0 +1,544 @@
+// Command loadgen drives a running sparsifyd server with a closed-loop
+// mix of upload, job, PATCH, stream and read traffic and reports per-op
+// latency percentiles and throughput. It exists to answer "what does the
+// serving layer do under load" with numbers, and doubles as the CI smoke
+// benchmark behind BENCH_serve.json.
+//
+// Each of -c workers loops until -duration elapses: pick an op class by
+// the -mix weights, run it against the server, record the latency. The
+// loop is closed — a worker issues its next op only after the previous
+// one finishes — so concurrency is bounded and the server is never
+// swamped beyond -c in-flight requests (jobs additionally occupy the
+// server's own worker pool).
+//
+// PATCH and stream ops send reweights of edges the generator spec is
+// known to contain: loadgen regenerates the same graph locally from
+// -graph/-seed, so every mutation is valid by construction and the
+// registered graph stays connected for the whole run.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 30s -c 8
+//	loadgen -selfserve -duration 10s -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"graphspar/cmd/internal/runners"
+	"graphspar/internal/cli"
+	"graphspar/internal/graph"
+	"graphspar/internal/obs"
+	"graphspar/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "base URL of a running server, e.g. http://127.0.0.1:8080")
+		selfserve = flag.Bool("selfserve", false, "boot an in-process server on 127.0.0.1:0 and drive that")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		conc      = flag.Int("c", 8, "closed-loop worker goroutines")
+		spec      = flag.String("graph", "grid:24x24", "generator spec for the target graph; "+cli.SpecHelp)
+		seed      = flag.Uint64("seed", 1, "generator seed (must match the server's view of the graph)")
+		sigma2    = flag.Float64("sigma2", 50, "similarity threshold for jobs and streams")
+		shards    = flag.Int("shards", 0, "submit sharded jobs (0/1 = single-shot)")
+		mix       = flag.String("mix", "upload=1,job=2,patch=4,stream=2,read=6", "op-class weights")
+		out       = flag.String("out", "", "write a BENCH_serve.json-shaped report to this path")
+		serveWork = flag.Int("serve-workers", 4, "job workers for -selfserve")
+	)
+	flag.Parse()
+
+	ops, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	local, err := cli.LoadGraph(*spec, *seed)
+	if err != nil {
+		fatal(fmt.Errorf("generate %s locally: %w", *spec, err))
+	}
+	if err := local.RequireConnected(); err != nil {
+		fatal(fmt.Errorf("graph %s: %w", *spec, err))
+	}
+
+	base := *addr
+	var shutdown func()
+	if *selfserve {
+		base, shutdown, err = bootServer(*serveWork)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		log.Printf("self-serve server on %s (workers=%d)", base, *serveWork)
+	}
+	if base == "" {
+		fatal(errors.New("need -addr or -selfserve"))
+	}
+
+	c := &client{
+		base:   strings.TrimSuffix(base, "/"),
+		http:   &http.Client{Timeout: 2 * time.Minute},
+		name:   "loadgen",
+		spec:   *spec,
+		seed:   *seed,
+		sigma2: *sigma2,
+		shards: *shards,
+		edges:  local.Edges(),
+	}
+	if err := c.register(); err != nil {
+		fatal(err)
+	}
+
+	log.Printf("driving %s: graph=%s (|V|=%d |E|=%d) c=%d duration=%s mix=%s",
+		c.base, *spec, local.N(), local.M(), *conc, *duration, *mix)
+
+	agg := runLoad(c, ops, *conc, *duration)
+	report := buildReport(agg, *spec, *conc, *duration)
+	printReport(report)
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	for _, op := range report.Ops {
+		if op.Count == 0 && op.Errors > 0 {
+			fatal(errors.New("an op class produced only errors"))
+		}
+	}
+}
+
+// opWeight is one entry of the -mix flag.
+type opWeight struct {
+	name   string
+	weight int
+}
+
+func parseMix(s string) ([]opWeight, error) {
+	known := map[string]bool{"upload": true, "job": true, "patch": true, "stream": true, "read": true}
+	var ops []opWeight
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || !known[name] {
+			return nil, fmt.Errorf("bad -mix entry %q (want op=weight with op in upload|job|patch|stream|read)", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", part)
+		}
+		if w > 0 {
+			ops = append(ops, opWeight{name, w})
+		}
+	}
+	if len(ops) == 0 {
+		return nil, errors.New("-mix selects no ops")
+	}
+	return ops, nil
+}
+
+// pick returns an op name drawn from the weighted mix.
+func pick(ops []opWeight, rng *rand.Rand) string {
+	total := 0
+	for _, o := range ops {
+		total += o.weight
+	}
+	n := rng.Intn(total)
+	for _, o := range ops {
+		if n < o.weight {
+			return o.name
+		}
+		n -= o.weight
+	}
+	return ops[len(ops)-1].name
+}
+
+// opStats accumulates one worker's results for one op class.
+type opStats struct {
+	count   int
+	errors  int
+	lastErr string
+	samples []float64 // latency, ms
+}
+
+func runLoad(c *client, ops []opWeight, conc int, d time.Duration) map[string]*opStats {
+	deadline := time.Now().Add(d)
+	perWorker := make([]map[string]*opStats, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		stats := map[string]*opStats{}
+		perWorker[w] = stats
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 0x5eed))
+			n := 0
+			for time.Now().Before(deadline) {
+				name := pick(ops, rng)
+				st := stats[name]
+				if st == nil {
+					st = &opStats{}
+					stats[name] = st
+				}
+				t0 := time.Now()
+				err := c.do(name, id, n, rng)
+				if err != nil {
+					st.errors++
+					st.lastErr = err.Error()
+				} else {
+					st.count++
+					st.samples = append(st.samples, float64(time.Since(t0))/float64(time.Millisecond))
+				}
+				n++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	agg := map[string]*opStats{}
+	for _, stats := range perWorker {
+		for name, st := range stats {
+			a := agg[name]
+			if a == nil {
+				a = &opStats{}
+				agg[name] = a
+			}
+			a.count += st.count
+			a.errors += st.errors
+			if st.lastErr != "" {
+				a.lastErr = st.lastErr
+			}
+			a.samples = append(a.samples, st.samples...)
+		}
+	}
+	return agg
+}
+
+// client issues the individual op classes against the server.
+type client struct {
+	base   string
+	http   *http.Client
+	name   string
+	spec   string
+	seed   uint64
+	sigma2 float64
+	shards int
+	edges  []graph.Edge
+}
+
+func (c *client) do(op string, worker, n int, rng *rand.Rand) error {
+	switch op {
+	case "upload":
+		return c.upload(worker, n)
+	case "job":
+		return c.job()
+	case "patch":
+		return c.patch(rng)
+	case "stream":
+		return c.stream(rng)
+	case "read":
+		return c.read()
+	}
+	return fmt.Errorf("unknown op %q", op)
+}
+
+// register installs the target graph, replacing a leftover from a prior
+// run against the same server.
+func (c *client) register() error {
+	body := map[string]any{"name": c.name, "spec": c.spec, "seed": c.seed}
+	code, _, err := c.json(http.MethodPost, "/v1/graphs", body, nil)
+	if err != nil {
+		return fmt.Errorf("register %s: %w", c.name, err)
+	}
+	if code == http.StatusCreated {
+		return nil
+	}
+	// Name taken (possibly with different content after a mutating run):
+	// drop it and retry once.
+	if _, _, err := c.json(http.MethodDelete, "/v1/graphs/"+c.name, nil, nil); err != nil {
+		return fmt.Errorf("delete stale %s: %w", c.name, err)
+	}
+	code, raw, err := c.json(http.MethodPost, "/v1/graphs", body, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("register %s: %d %s", c.name, code, raw)
+	}
+	return nil
+}
+
+func (c *client) upload(worker, n int) error {
+	name := fmt.Sprintf("lg-up-%d-%d", worker, n)
+	code, raw, err := c.json(http.MethodPost, "/v1/graphs",
+		map[string]any{"name": name, "spec": "grid:8x8", "seed": c.seed}, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("upload: %d %s", code, raw)
+	}
+	_, _, err = c.json(http.MethodDelete, "/v1/graphs/"+name, nil, nil)
+	return err
+}
+
+// job submits a sparsification and polls it to completion; the recorded
+// latency is submit-to-done, including queue wait.
+func (c *client) job() error {
+	req := map[string]any{"graph": c.name, "sigma2": c.sigma2}
+	if c.shards > 1 {
+		req["shards"] = c.shards
+	}
+	var job service.Job
+	code, raw, err := c.json(http.MethodPost, "/v1/jobs", req, &job)
+	if err != nil {
+		return err
+	}
+	// A result-cache hit answers synchronously with the finished job.
+	if code == http.StatusOK && job.Status == service.StatusDone {
+		return nil
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("submit: %d %s", code, raw)
+	}
+	for {
+		code, raw, err := c.json(http.MethodGet, "/v1/jobs/"+job.ID, nil, &job)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("poll: %d %s", code, raw)
+		}
+		switch job.Status {
+		case service.StatusDone:
+			return nil
+		case service.StatusFailed, service.StatusCanceled:
+			return fmt.Errorf("job %s: %s %s", job.ID, job.Status, job.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// randomReweight mutates a known edge's weight within [0.5, 2.0]; edge
+// endpoints never change, so the graph stays connected.
+func (c *client) randomReweight(rng *rand.Rand) (u, v int, w float64) {
+	e := c.edges[rng.Intn(len(c.edges))]
+	return e.U, e.V, 0.5 + 1.5*rng.Float64()
+}
+
+func (c *client) patch(rng *rand.Rand) error {
+	u, v, w := c.randomReweight(rng)
+	body := map[string]any{"updates": []map[string]any{{"op": "reweight", "u": u, "v": v, "w": w}}}
+	code, raw, err := c.json(http.MethodPatch, "/v1/graphs/"+c.name+"/edges", body, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("patch: %d %s", code, raw)
+	}
+	return nil
+}
+
+// stream sends one NDJSON batch of reweights plus a commit. The first
+// stream against a cold server installs a maintainer session (a full
+// sparsification); later batches ride the resident session.
+func (c *client) stream(rng *rand.Rand) error {
+	var b bytes.Buffer
+	for i := 0; i < 8; i++ {
+		u, v, w := c.randomReweight(rng)
+		fmt.Fprintf(&b, "= %d %d %g\n", u, v, w)
+	}
+	b.WriteString("commit\n")
+	url := fmt.Sprintf("%s/v1/graphs/%s/stream?sigma2=%g", c.base, c.name, c.sigma2)
+	resp, err := c.http.Post(url, "application/x-ndjson", &b)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %d %s", resp.StatusCode, raw)
+	}
+	// Response is NDJSON too: one result line per batch, then a summary.
+	// A batch the server could not apply reports applied:false.
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var res struct {
+			Applied *bool  `json:"applied"`
+			Error   string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("stream response: %w", err)
+		}
+		if res.Applied != nil && !*res.Applied {
+			return fmt.Errorf("stream batch rejected: %s", res.Error)
+		}
+	}
+	return nil
+}
+
+func (c *client) read() error {
+	code, raw, err := c.json(http.MethodGet, "/v1/graphs/"+c.name, nil, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("read: %d %s", code, raw)
+	}
+	return nil
+}
+
+// json issues a request with an optional JSON body, decoding the reply
+// into out when non-nil.
+func (c *client) json(method, path string, body, out any) (int, string, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, "", err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, string(raw), err
+		}
+	}
+	return resp.StatusCode, string(raw), nil
+}
+
+// bootServer starts an in-process sparsifyd on a loopback port using the
+// same facade runners cmd/serve wires in.
+func bootServer(workers int) (base string, shutdown func(), err error) {
+	cfg := runners.Config()
+	cfg.Workers = workers
+	cfg.Metrics = obs.NewRegistry()
+	srv := service.NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Queue().Shutdown(ctx)
+		if m := srv.Sessions(); m != nil {
+			m.Close(ctx)
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// Report is the BENCH_serve.json shape.
+type Report struct {
+	Bench       string              `json:"bench"`
+	Graph       string              `json:"graph"`
+	Concurrency int                 `json:"concurrency"`
+	DurationS   float64             `json:"duration_s"`
+	Ops         map[string]OpReport `json:"ops"`
+}
+
+type OpReport struct {
+	Count        int     `json:"count"`
+	Errors       int     `json:"errors"`
+	LastError    string  `json:"last_error,omitempty"`
+	ThroughputPS float64 `json:"throughput_per_s"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func buildReport(agg map[string]*opStats, spec string, conc int, d time.Duration) Report {
+	rep := Report{
+		Bench:       "serve_loadgen",
+		Graph:       spec,
+		Concurrency: conc,
+		DurationS:   d.Seconds(),
+		Ops:         map[string]OpReport{},
+	}
+	for name, st := range agg {
+		sort.Float64s(st.samples)
+		rep.Ops[name] = OpReport{
+			Count:        st.count,
+			Errors:       st.errors,
+			LastError:    st.lastErr,
+			ThroughputPS: float64(st.count) / d.Seconds(),
+			P50Ms:        percentile(st.samples, 0.50),
+			P95Ms:        percentile(st.samples, 0.95),
+			P99Ms:        percentile(st.samples, 0.99),
+		}
+	}
+	return rep
+}
+
+func printReport(rep Report) {
+	names := make([]string, 0, len(rep.Ops))
+	for name := range rep.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-8s %8s %7s %10s %10s %10s %10s\n",
+		"op", "count", "errors", "ops/s", "p50 ms", "p95 ms", "p99 ms")
+	for _, name := range names {
+		op := rep.Ops[name]
+		fmt.Printf("%-8s %8d %7d %10.1f %10.2f %10.2f %10.2f\n",
+			name, op.Count, op.Errors, op.ThroughputPS, op.P50Ms, op.P95Ms, op.P99Ms)
+		if op.LastError != "" {
+			fmt.Printf("         last error: %s\n", op.LastError)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"graphspar/internal/cli"
+	"graphspar/internal/obs"
 	"graphspar/internal/service"
 )
 
@@ -54,6 +56,8 @@ func main() {
 		sessMax    = flag.Int("session-max", 32, "resident maintainer sessions for true-streaming PATCH/incremental serving (0 disables)")
 		sessBudget = flag.Int("session-budget-mb", 1024, "memory budget for resident sessions, MiB (estimated)")
 		sessTTL    = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle this long (0 = never expire)")
+
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Var(&pre, "preload", "register name=SPEC at startup (repeatable); "+cli.SpecHelp)
 	flag.Parse()
@@ -81,6 +85,10 @@ func main() {
 		SessionMax:         disableZero(*sessMax),
 		SessionBudgetBytes: int64(*sessBudget) << 20,
 		SessionTTL:         ttl,
+		// The default registry also carries the pipeline's per-phase
+		// histograms, so one /metrics scrape covers HTTP, queue, session
+		// and phase telemetry.
+		Metrics: obs.Default,
 	})
 	for _, p := range pre {
 		name, spec, _ := strings.Cut(p, "=")
@@ -100,9 +108,23 @@ func main() {
 		log.Printf("preloaded %s: |V|=%d |E|=%d hash=%s", name, entry.N, entry.M, entry.Hash[:12])
 	}
 
+	handler := srv.Handler()
+	if *withPprof {
+		// Mount the profiling handlers on an explicit outer mux rather
+		// than relying on pprof's DefaultServeMux registration, so they
+		// exist only when asked for and bypass the API middleware.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

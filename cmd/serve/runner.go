@@ -1,163 +1,14 @@
 package main
 
-import (
-	"context"
-	"errors"
+import "graphspar/cmd/internal/runners"
 
-	"graphspar"
-	"graphspar/internal/graph"
-	"graphspar/internal/service"
-	"graphspar/internal/sessions"
+// The facade-backed runner funcs live in cmd/internal/runners so that
+// cmd/loadgen's self-serve mode boots an identical server. The aliases
+// keep this package's call sites (main.go and the e2e tests) reading as
+// the service's production wiring.
+var (
+	runSparsify    = runners.Sparsify
+	runIncremental = runners.Incremental
+	runMaintain    = runners.Maintain
+	runResume      = runners.Resume
 )
-
-// This file binds the service's transport/scheduling layer to the public
-// graphspar facade: the queue's SparsifyFunc/IncrementalFunc are the only
-// places job parameters become sparsification options. internal/service
-// cannot import the root package (the facade sits on top of the internal
-// pipelines), so the wiring lives here.
-
-// facadeFor translates canonicalized wire params into a facade
-// Sparsifier. withVerification adds the independent certificate check
-// from-scratch jobs report; incremental jobs skip it because the
-// maintainer's own per-batch verification IS the certificate.
-func facadeFor(p service.SparsifyParams, withVerification bool) (*graphspar.Sparsifier, error) {
-	alg, err := graphspar.ParseTreeAlgorithm(p.TreeAlg)
-	if err != nil {
-		return nil, err
-	}
-	opts := []graphspar.Option{
-		graphspar.WithSigma2(p.SigmaSq),
-		graphspar.WithEmbedSteps(p.T),
-		graphspar.WithProbeVectors(p.NumVectors),
-		graphspar.WithTreeAlgorithm(alg),
-		graphspar.WithSeed(p.Seed),
-	}
-	if withVerification {
-		opts = append(opts, graphspar.WithVerification(0))
-	}
-	if p.MaxEdges > 0 {
-		opts = append(opts, graphspar.WithMaxEdges(p.MaxEdges))
-	}
-	if p.Shards > 1 {
-		opts = append(opts, graphspar.WithShards(p.Shards), graphspar.WithWorkers(p.Workers))
-		if p.Partition != "" {
-			m, err := graphspar.ParsePartitionMethod(p.Partition)
-			if err != nil {
-				return nil, err
-			}
-			opts = append(opts, graphspar.WithPartition(m))
-		}
-	} else {
-		// The wire contract is explicit: shards ≤ 1 is the single-shot
-		// pipeline, never the facade's auto-sharding policy.
-		opts = append(opts, graphspar.WithShards(1))
-	}
-	return graphspar.New(opts...)
-}
-
-// runSparsify is the production SparsifyFunc: facade Run (single-shot or
-// sharded per the params) plus the independent Lanczos verification.
-func runSparsify(ctx context.Context, g *graph.Graph, p service.SparsifyParams) (*service.JobResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	s, err := facadeFor(p, true)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.Run(ctx, g)
-	if err != nil && !errors.Is(err, graphspar.ErrNoTarget) {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	out := &service.JobResult{
-		EdgesKept:         res.Sparsifier.M(),
-		EdgesInput:        g.M(),
-		Density:           res.Density(),
-		Reduction:         float64(g.M()) / float64(res.Sparsifier.M()),
-		SigmaSqAchieved:   res.SigmaSqAchieved,
-		TargetMet:         res.TargetMet,
-		Connected:         res.Sparsifier.IsConnected(),
-		VerifiedLambdaMax: res.VerifiedLambdaMax,
-		VerifiedLambdaMin: res.VerifiedLambdaMin,
-		VerifiedCond:      res.VerifiedCond,
-		Sparsifier:        res.Sparsifier,
-	}
-	if res.Sharded {
-		for _, sh := range res.Shards {
-			out.Rounds += len(sh.Rounds)
-		}
-		out.Shards = res.Parts
-		out.CutEdges = res.CutEdges
-		out.RecoveredCut = res.RecoveredCut
-		out.ShardSpeedup = res.Speedup()
-	} else {
-		out.Rounds = len(res.Rounds)
-		out.TotalStretch = res.TotalStretch
-	}
-	return out, nil
-}
-
-// runMaintain is the production MaintainFunc: it builds a live facade
-// Stream from scratch for the stream endpoint's cold path. The returned
-// *graphspar.Stream satisfies sessions.Maintainer (its methods alias the
-// internal types), so the service's session manager drives the exact
-// object a library user would hold.
-func runMaintain(ctx context.Context, g *graph.Graph, p service.SparsifyParams) (sessions.Maintainer, error) {
-	s, err := facadeFor(p, false)
-	if err != nil {
-		return nil, err
-	}
-	return s.Maintain(ctx, g)
-}
-
-// runResume is the production ResumeFunc: it warm-starts a live facade
-// Stream from a prior job's sparsifier. Incremental jobs answer from it
-// and then leave it resident as the graph's session, so the next
-// PATCH/stream/job skips the reconcile this call just paid.
-func runResume(ctx context.Context, g, warm *graph.Graph, p service.SparsifyParams) (sessions.Maintainer, error) {
-	s, err := facadeFor(p, false)
-	if err != nil {
-		return nil, err
-	}
-	return s.Resume(ctx, g, warm)
-}
-
-// runIncremental is the production IncrementalFunc: it warm-starts a
-// maintenance Stream from a prior job's sparsifier (reconciling it
-// against the current graph and re-establishing the certificate with
-// re-filter rounds) instead of running the full pipeline. The certificate
-// in the result is the stream's independently verified κ.
-func runIncremental(ctx context.Context, g, warm *graph.Graph, p service.SparsifyParams) (*service.JobResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	s, err := facadeFor(p, false)
-	if err != nil {
-		return nil, err
-	}
-	st, err := s.Resume(ctx, g, warm)
-	if err != nil {
-		return nil, err
-	}
-	sp := st.Sparsifier()
-	stats := st.Stats()
-	return &service.JobResult{
-		EdgesKept:       sp.M(),
-		EdgesInput:      g.M(),
-		Density:         float64(sp.M()) / float64(sp.N()),
-		Reduction:       float64(g.M()) / float64(sp.M()),
-		SigmaSqAchieved: st.Cond(),
-		TargetMet:       st.TargetMet(),
-		Rounds:          stats.Refilters,
-		Connected:       sp.IsConnected(),
-		// The stream's certificate IS the independent Lanczos check.
-		VerifiedCond: st.Cond(),
-		Refilters:    stats.Refilters,
-		Rebuilds:     stats.Rebuilds,
-		Sparsifier:   sp,
-	}, nil
-}

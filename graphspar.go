@@ -36,6 +36,7 @@ import (
 	"graphspar/internal/core"
 	"graphspar/internal/dynamic"
 	"graphspar/internal/engine"
+	"graphspar/internal/obs"
 )
 
 // Auto-sharding policy: with no explicit WithShards choice, Run uses the
@@ -85,10 +86,30 @@ func (s *Sparsifier) Sigma2() float64 { return s.cfg.sigma2 }
 // the best sparsifier found together with ErrNoTarget (Result.TargetMet
 // is false); every other error returns a nil Result.
 func (s *Sparsifier) Run(ctx context.Context, g *Graph) (*Result, error) {
-	if s.shardsFor(g) > 1 {
-		return s.runSharded(ctx, g)
+	// Every Run carries a phase trace: pipeline spans (partition, shard,
+	// stitch, embed, verify, ...) land in Result.Phases and aggregate
+	// into the process-wide phase histograms. A trace already attached by
+	// the caller (NewTraceContext) is reused, so a serving layer sees the
+	// same spans it would collect itself.
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
 	}
-	return s.runSingle(ctx, g)
+	if s.shardsFor(g) > 1 {
+		return s.runSharded(ctx, g, tr)
+	}
+	return s.runSingle(ctx, g, tr)
+}
+
+// NewTraceContext attaches a fresh phase trace to ctx. Run records its
+// per-phase spans there (the same list it returns in Result.Phases);
+// Stream.Apply records its maintenance phases (settle, refilter, embed,
+// verify) there too, which is the only way to get a per-batch breakdown
+// out of a stream.
+func NewTraceContext(ctx context.Context) (context.Context, *Trace) {
+	tr := obs.NewTrace()
+	return obs.WithTrace(ctx, tr), tr
 }
 
 // shardsFor resolves the effective shard count for a graph: the explicit
@@ -107,9 +128,11 @@ func (s *Sparsifier) shardsFor(g *Graph) int {
 
 // runSingle executes the single-shot pipeline (plus the optional
 // independent verification).
-func (s *Sparsifier) runSingle(ctx context.Context, g *Graph) (*Result, error) {
+func (s *Sparsifier) runSingle(ctx context.Context, g *Graph, tr *obs.Trace) (*Result, error) {
 	start := time.Now()
+	spSpan := obs.StartSpan(ctx, "sparsify")
 	sp, err := core.SparsifyCtx(ctx, g, s.cfg.coreOptions())
+	sparsifyDur := spSpan.End()
 	if err != nil && !errors.Is(err, core.ErrNoTarget) {
 		return nil, err
 	}
@@ -125,25 +148,30 @@ func (s *Sparsifier) runSingle(ctx context.Context, g *Graph) (*Result, error) {
 		Rounds:          sp.Rounds,
 		Parts:           1,
 	}
-	res.Timings.Sparsify = time.Since(start)
+	res.Timings.Sparsify = sparsifyDur
 	if s.cfg.verify == verifyOn {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
+		vSpan := obs.StartSpan(ctx, "verify")
 		solver, err := cholesky.NewLapSolver(sp.Sparsifier)
 		if err != nil {
+			vSpan.End()
 			return nil, err
 		}
 		lmax, lmin, cond, err := core.VerifySimilarity(g, sp.Sparsifier, solver, s.cfg.verifyStepsFor(g.N()), s.cfg.effectiveSeed())
 		if err != nil {
+			vSpan.End()
 			return nil, err
 		}
 		res.Verified = true
 		res.VerifiedLambdaMax, res.VerifiedLambdaMin, res.VerifiedCond = lmax, lmin, cond
-		res.Timings.Verify = time.Since(t0)
+		// Span-derived, so the single-shot path reports Verify exactly the
+		// way the engine path does.
+		res.Timings.Verify = vSpan.End()
 	}
 	res.Timings.Wall = time.Since(start)
+	res.Phases = tr.Phases()
 	if !res.TargetMet {
 		return res, ErrNoTarget
 	}
@@ -151,7 +179,7 @@ func (s *Sparsifier) runSingle(ctx context.Context, g *Graph) (*Result, error) {
 }
 
 // runSharded executes the shard-parallel engine.
-func (s *Sparsifier) runSharded(ctx context.Context, g *Graph) (*Result, error) {
+func (s *Sparsifier) runSharded(ctx context.Context, g *Graph, tr *obs.Trace) (*Result, error) {
 	er, err := engine.Run(ctx, g, s.cfg.engineOptions(s.shardsFor(g)))
 	if err != nil {
 		return nil, err
@@ -184,6 +212,7 @@ func (s *Sparsifier) runSharded(ctx context.Context, g *Graph) (*Result, error) 
 		res.VerifiedLambdaMin = er.VerifiedLambdaMin
 		res.VerifiedCond = er.VerifiedCond
 	}
+	res.Phases = tr.Phases()
 	if !res.TargetMet {
 		return res, ErrNoTarget
 	}

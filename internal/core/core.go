@@ -24,6 +24,7 @@ import (
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
 	"graphspar/internal/multigrid"
+	"graphspar/internal/obs"
 	"graphspar/internal/params"
 	"graphspar/internal/pcg"
 	"graphspar/internal/tree"
@@ -363,7 +364,9 @@ func SparsifyCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, err
 		}
 
 		// Embed and filter.
+		embedSpan := obs.StartSpan(ctx, "embed")
 		heats, maxHeat := EmbedOffTreeParallel(g, solver, remaining, opt.T, opt.NumVectors, rng.Uint64(), opt.EmbedWorkers)
+		embedSpan.End()
 		theta := Threshold(opt.SigmaSq, lmin, lmax, opt.T)
 		stats.Threshold = theta
 

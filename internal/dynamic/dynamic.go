@@ -45,6 +45,7 @@ import (
 	"graphspar/internal/engine"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
+	"graphspar/internal/obs"
 	"graphspar/internal/params"
 	"graphspar/internal/partition"
 	"graphspar/internal/tree"
@@ -262,7 +263,7 @@ func Resume(ctx context.Context, g *graph.Graph, warm *graph.Graph, opt Options)
 	}
 	// Record filter thresholds so subsequent insert admissions score
 	// against this warm pass rather than admitting unconditionally.
-	m.recordThresholds()
+	m.recordThresholds(ctx)
 	m.condAtBuild = m.cond
 	m.drift = 0
 	m.mAtBuild = g.M()
@@ -296,8 +297,8 @@ func reconnectHeaviest(g *graph.Graph, uf *lsst.UnionFind, add func(graph.Edge))
 
 // recordThresholds captures the similarity threshold and heat normalizer
 // of the current (just-settled) state for future insert admission.
-func (m *Maintainer) recordThresholds() {
-	m.freshenEmbedding() // the heat normalizer reads the embedding
+func (m *Maintainer) recordThresholds(ctx context.Context) {
+	m.freshenEmbedding(ctx) // the heat normalizer reads the embedding
 	t, _, _, _ := m.opt.Sparsify.EffectiveEmbed(m.g.N())
 	m.theta = core.Threshold(m.opt.Sparsify.SigmaSq, m.lmin, m.lmax, t)
 	if cands := m.offTreeCandidates(); len(cands) > 0 {
@@ -447,7 +448,7 @@ func (m *Maintainer) Apply(ctx context.Context, batch []Update) error {
 	// still the post-previous-commit state, so the lazy step lands exactly
 	// where the eager per-batch step used to.
 	if len(inserts) > 0 {
-		m.freshenEmbedding()
+		m.freshenEmbedding(ctx)
 	}
 	admitted := 0
 	for _, k := range inserts {
@@ -526,6 +527,7 @@ func (m *Maintainer) forceRebuild(ctx context.Context) error {
 // with the target still unmet. batched selects the one-verify-per-pass
 // re-filter mode for large update batches.
 func (m *Maintainer) settle(ctx context.Context, batched bool) error {
+	defer obs.StartSpan(ctx, "settle").End()
 	if err := m.refilter(ctx, batched); err != nil {
 		return err
 	}
@@ -544,6 +546,7 @@ func (m *Maintainer) settle(ctx context.Context, batched bool) error {
 // regime: verification dominates the per-round cost, and θσ would not
 // move between rounds anyway without fresh λ estimates).
 func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
+	defer obs.StartSpan(ctx, "refilter").End()
 	safety := m.opt.RefilterFraction * m.opt.Sparsify.SigmaSq
 	if m.cond <= safety {
 		return nil
@@ -552,7 +555,7 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 		m.stats.BatchedSettles++
 	}
 	// Re-filter scoring consults the embedding: fold deferred batches in.
-	m.freshenEmbedding()
+	m.freshenEmbedding(ctx)
 	dirty := false // admissions not yet folded into the solver + certificate
 	t, _, _, batchFraction := m.opt.Sparsify.EffectiveEmbed(m.g.N())
 	for round := 0; round < m.opt.RefilterRounds && m.cond > safety; round++ {
@@ -626,7 +629,7 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 		if err := m.materialize(); err != nil {
 			return err
 		}
-		if err := m.verifyCertificate(); err != nil {
+		if err := m.verifyCertificate(ctx); err != nil {
 			return err
 		}
 		dirty = false
@@ -638,7 +641,7 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 		if err := m.materialize(); err != nil {
 			return err
 		}
-		if err := m.verifyCertificate(); err != nil {
+		if err := m.verifyCertificate(ctx); err != nil {
 			return err
 		}
 	}
@@ -748,7 +751,7 @@ func (m *Maintainer) refreshScorerAndCertificate(ctx context.Context, fresh bool
 	} else {
 		m.embedStale = true
 	}
-	return m.verifyCertificate()
+	return m.verifyCertificate(ctx)
 }
 
 // freshenEmbedding folds every batch committed since the last refresh
@@ -757,10 +760,11 @@ func (m *Maintainer) refreshScorerAndCertificate(ctx context.Context, fresh bool
 // the embedding is consulted (insert admission, re-filter scoring); the
 // drift budget separately bounds how much deferred churn the embedding
 // may absorb before a rebuild.
-func (m *Maintainer) freshenEmbedding() {
+func (m *Maintainer) freshenEmbedding(ctx context.Context) {
 	if !m.embedStale || m.scorer == nil {
 		return
 	}
+	defer obs.StartSpan(ctx, "embed").End()
 	m.scorer.Step(m.g, m.solver)
 	m.embedStale = false
 	m.stats.EmbedRefreshes++
@@ -768,7 +772,8 @@ func (m *Maintainer) freshenEmbedding() {
 
 // verifyCertificate re-estimates κ(L_G, L_P) by generalized Lanczos with
 // the current exact factorization.
-func (m *Maintainer) verifyCertificate() error {
+func (m *Maintainer) verifyCertificate(ctx context.Context) error {
+	defer obs.StartSpan(ctx, "verify").End()
 	m.stats.Verifies++
 	lmax, lmin, cond, err := core.VerifySimilarity(m.g, m.p, m.solver, m.opt.VerifySteps, m.rng.Uint64())
 	if err != nil {
@@ -830,7 +835,7 @@ func (m *Maintainer) rebuild(ctx context.Context) error {
 		return err
 	}
 	// Record the thresholds of this full pass for future insert scoring.
-	m.recordThresholds()
+	m.recordThresholds(ctx)
 	// The pipeline's own estimates can land the *verified* κ slightly
 	// above target (deeper Lanczos, different seed, or the engine's
 	// stitched certificate); close any residual gap with re-filter rounds

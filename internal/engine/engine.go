@@ -24,6 +24,7 @@ import (
 	"graphspar/internal/cholesky"
 	"graphspar/internal/core"
 	"graphspar/internal/graph"
+	"graphspar/internal/obs"
 	"graphspar/internal/params"
 	"graphspar/internal/partition"
 )
@@ -214,33 +215,34 @@ func Run(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 		return runSingle(ctx, g, opt, start)
 	}
 
-	t0 := time.Now()
+	partSpan := obs.StartSpan(ctx, "partition")
 	kw, err := partition.RecursiveBisect(g, opt.Shards, *opt.Partition)
+	partDur := partSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("engine: partition: %w", err)
 	}
 	res := &Result{
 		Labels:        kw.Labels,
 		Parts:         kw.Parts,
-		PartitionTime: time.Since(t0),
+		PartitionTime: partDur,
 	}
 
 	tasks, err := buildTasks(g, kw.Labels, kw.Parts)
 	if err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
+	shardSpan := obs.StartSpan(ctx, "shard")
 	outs, err := runShards(ctx, g, tasks, opt)
+	res.ShardWall = shardSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	res.ShardWall = time.Since(t0)
 	for _, out := range outs {
 		res.Shards = append(res.Shards, out.stats)
 		res.ShardCPU += out.stats.Duration
 	}
 
-	t0 = time.Now()
+	stitchSpan := obs.StartSpan(ctx, "stitch")
 	keptIDs, stitchedIDs, candIDs := stitch(g, kw.Labels, outs)
 	res.CutEdges = len(stitchedIDs) + len(candIDs)
 	res.StitchedCut = len(stitchedIDs)
@@ -276,7 +278,7 @@ func Run(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 			res.SigmaSqEst = lmax / lmin
 		}
 	}
-	res.StitchTime = time.Since(t0)
+	res.StitchTime = stitchSpan.End()
 	res.TargetMet = res.SigmaSqEst > 0 && res.SigmaSqEst <= opt.Sparsify.SigmaSq
 
 	if err := verify(ctx, g, res, opt); err != nil {
@@ -293,12 +295,12 @@ func runSingle(ctx context.Context, g *graph.Graph, opt Options, start time.Time
 	if sopt.Seed == 0 {
 		sopt.Seed = opt.Seed
 	}
-	t0 := time.Now()
+	spSpan := obs.StartSpan(ctx, "sparsify")
 	sp, err := core.SparsifyCtx(ctx, g, sopt)
+	dur := spSpan.End()
 	if err != nil && !errors.Is(err, core.ErrNoTarget) {
 		return nil, err
 	}
-	dur := time.Since(t0)
 	ids := append(append([]int(nil), sp.TreeEdgeIDs...), sp.OffTreeAddedIDs...)
 	res := &Result{
 		Sparsifier: sp.Sparsifier,
@@ -337,17 +339,19 @@ func verify(ctx context.Context, g *graph.Graph, res *Result, opt Options) error
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	t0 := time.Now()
+	vSpan := obs.StartSpan(ctx, "verify")
 	solver, err := cholesky.NewLapSolver(res.Sparsifier)
 	if err != nil {
+		vSpan.End()
 		return fmt.Errorf("engine: verification solver: %w", err)
 	}
 	lmax, lmin, cond, err := core.VerifySimilarity(g, res.Sparsifier, solver, opt.VerifySteps, opt.Seed)
 	if err != nil {
+		vSpan.End()
 		return fmt.Errorf("engine: similarity verification: %w", err)
 	}
 	res.VerifiedLambdaMax, res.VerifiedLambdaMin, res.VerifiedCond = lmax, lmin, cond
 	res.TargetMet = cond <= opt.Sparsify.SigmaSq
-	res.VerifyTime = time.Since(t0)
+	res.VerifyTime = vSpan.End()
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"graphspar/internal/core"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
+	"graphspar/internal/obs"
 	"graphspar/internal/vecmath"
 )
 
@@ -69,6 +70,7 @@ func stitch(g *graph.Graph, labels []int, outs []shardOut) (keptIDs, stitchedIDs
 // sparsifier, how many cut edges were recovered, and the λ estimates of
 // the last pass.
 func refilter(ctx context.Context, g *graph.Graph, keptIDs, candIDs []int, opt Options) (*graph.Graph, int, float64, float64, error) {
+	defer obs.StartSpan(ctx, "refilter").End()
 	t, r, powerIters, batchFraction := opt.Sparsify.EffectiveEmbed(g.N())
 	sigma := opt.Sparsify.SigmaSq
 	rng := vecmath.NewRNG(opt.Seed ^ 0x5717c4)

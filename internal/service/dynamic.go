@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"graphspar/internal/dynamic"
+	"graphspar/internal/obs"
 	"graphspar/internal/sessions"
 )
 
@@ -35,6 +36,11 @@ type patchResponse struct {
 	// session telemetry after a hit.
 	Session      string          `json:"session"`
 	SessionStats *sessions.Stats `json:"session_stats,omitempty"`
+	// Phases is the maintainer's per-phase breakdown of this batch
+	// (settle, refilter, embed, verify). Only populated on a session hit
+	// with ?trace=1 — the cold path mutates the graph without running any
+	// pipeline phase.
+	Phases []PhaseMs `json:"phases,omitempty"`
 }
 
 // maxPatchUpdates bounds one PATCH body; larger reshapes should stream.
@@ -88,6 +94,15 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 	// registry, takes the batch instead — its actor loop serializes
 	// writers, and a session gone stale mid-flight re-enters this loop as
 	// a cold retry.
+	// ?trace=1 opts into the per-batch phase breakdown; spans from every
+	// retry attempt accumulate into the same trace, so a batch that raced
+	// a session away still shows the work it caused.
+	ctx := r.Context()
+	var tr *obs.Trace
+	if r.URL.Query().Get("trace") == "1" {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	const patchRetries = 4
 	for attempt := 0; ; attempt++ {
 		entry, err := s.registry.Get(name)
@@ -98,17 +113,21 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 
 		if s.sessions != nil {
 			if sess := s.sessions.Get(name, entry.Hash, ""); sess != nil {
-				res, err := s.applySessionBatch(r.Context(), sess, name, batch)
+				res, err := s.applySessionBatch(ctx, sess, name, batch)
 				switch {
 				case err == nil:
-					writeJSON(w, http.StatusOK, patchResponse{
+					resp := patchResponse{
 						graphInfo:    res.info,
 						Applied:      len(batch),
 						PrevHash:     res.prevHash,
 						Evicted:      res.evicted,
 						Session:      "hit",
 						SessionStats: &res.stats,
-					})
+					}
+					if tr != nil {
+						resp.Phases = toPhaseMs(tr.Phases())
+					}
+					writeJSON(w, http.StatusOK, resp)
 					return
 				case errors.Is(err, sessions.ErrSessionGone), errors.Is(err, errSessionStale):
 					if attempt < patchRetries {

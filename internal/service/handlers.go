@@ -15,6 +15,7 @@ import (
 	"graphspar/internal/dynamic"
 	"graphspar/internal/graph"
 	"graphspar/internal/mm"
+	"graphspar/internal/obs"
 	"graphspar/internal/params"
 	"graphspar/internal/sessions"
 )
@@ -49,6 +50,12 @@ type Config struct {
 	SessionMax         int
 	SessionBudgetBytes int64
 	SessionTTL         time.Duration
+	// Metrics is the registry the server instruments itself into and
+	// serves at GET /metrics (nil = obs.Default, which also carries the
+	// pipeline phase histograms). A process embedding several servers
+	// should give each its own registry: scrape-time func-backed series
+	// bind to the first server that registers them.
+	Metrics *obs.Registry
 }
 
 // MaintainFunc builds a live maintainer for a graph from scratch.
@@ -93,6 +100,7 @@ type Server struct {
 	// endpoint to the same width as the job worker pool — a cold stream
 	// is a full sparsification and must not dodge the -workers bound.
 	maintainSem chan struct{}
+	metrics     *serverMetrics
 }
 
 // NewServer builds a ready-to-serve sparsifyd instance.
@@ -107,7 +115,9 @@ func NewServer(cfg Config) *Server {
 		registry: registry,
 		cache:    cache,
 		queue:    queue,
+		metrics:  newServerMetrics(cfg.Metrics),
 	}
+	queue.setMetrics(s.metrics)
 	if (cfg.Maintain != nil || cfg.Resume != nil) && cfg.SessionMax >= 0 {
 		s.sessions = sessions.NewManager(sessions.Options{
 			MaxSessions:      cfg.SessionMax,
@@ -125,6 +135,7 @@ func NewServer(cfg Config) *Server {
 			return e.Hash, true
 		})
 	}
+	s.registerStateMetrics()
 	return s
 }
 
@@ -155,6 +166,11 @@ func (s *Server) Sessions() *sessions.Manager { return s.sessions }
 //	GET    /v1/jobs/{id}/edges.mtx                        result adjacency edge list
 //	GET    /v1/jobs/{id}/edges                            result edge list as JSON
 //	GET    /v1/healthz                                    liveness + stats
+//	GET    /metrics                                       Prometheus text exposition
+//
+// Every route is wrapped with request accounting (latency histogram and
+// status counter per route pattern) feeding the same registry /metrics
+// serves.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterSpec)
@@ -172,7 +188,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/edges.mtx", s.handleJobEdgesMtx)
 	mux.HandleFunc("GET /v1/jobs/{id}/edges", s.handleJobEdgesJSON)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
-	return mux
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	return s.metrics.instrument(mux)
 }
 
 // ---------------------------------------------------------------- helpers
@@ -524,7 +541,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status   string                 `json:"status"`
 		Graphs   int                    `json:"graphs"`
 		Queued   int                    `json:"queued"`
+		InFlight int                    `json:"in_flight"`
+		Workers  int                    `json:"workers"`
 		Cache    CacheStats             `json:"cache"`
 		Sessions *sessions.ManagerStats `json:"sessions,omitempty"`
-	}{"ok", s.registry.Len(), s.queue.Depth(), s.cache.Stats(), sess})
+	}{"ok", s.registry.Len(), s.queue.Depth(), s.queue.InFlight(), s.queue.Workers(), s.cache.Stats(), sess})
 }

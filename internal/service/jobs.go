@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphspar/internal/graph"
+	"graphspar/internal/obs"
 	"graphspar/internal/sessions"
 )
 
@@ -78,6 +80,11 @@ type JobResult struct {
 	SessionHit  bool            `json:"session_hit,omitempty"`
 	Session     *sessions.Stats `json:"session,omitempty"`
 
+	// Phases is the per-phase trace of this job's pipeline run (partition,
+	// shard, stitch, embed, verify, ...), in execution order. Empty for
+	// cache hits and session hits — no pipeline ran.
+	Phases []PhaseMs `json:"phases,omitempty"`
+
 	Sparsifier *graph.Graph `json:"-"`
 }
 
@@ -137,6 +144,10 @@ type Queue struct {
 	sessionMgr  *sessions.Manager
 	resume      ResumeFunc
 	currentHash func(name string) (string, bool)
+
+	workers  int
+	inFlight atomic.Int64
+	metrics  *serverMetrics // nil = uninstrumented
 }
 
 // SetSessions attaches the persistent-session manager, the runner that
@@ -150,6 +161,14 @@ type Queue struct {
 func (q *Queue) SetSessions(mgr *sessions.Manager, resume ResumeFunc, currentHash func(name string) (string, bool)) {
 	q.mu.Lock()
 	q.sessionMgr, q.resume, q.currentHash = mgr, resume, currentHash
+	q.mu.Unlock()
+}
+
+// setMetrics attaches the server's instruments; nil leaves the queue
+// uninstrumented (the observe methods no-op on a nil receiver).
+func (q *Queue) setMetrics(m *serverMetrics) {
+	q.mu.Lock()
+	q.metrics = m
 	q.mu.Unlock()
 }
 
@@ -194,6 +213,7 @@ func NewQueue(workers, backlog int, cache *ResultCache, sparsify SparsifyFunc, i
 		cache:       cache,
 		sparsify:    sparsify,
 		incremental: incremental,
+		workers:     workers,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -289,17 +309,32 @@ func (q *Queue) run(job *Job) {
 	job.Started = time.Now().UTC()
 	entry, p := job.graphEntry, job.Params
 	q.mu.Unlock()
+	q.inFlight.Add(1)
+	defer q.inFlight.Add(-1)
+
+	// Every job carries a phase trace: the spans the pipeline records
+	// (partition, shard, stitch, embed, verify, settle, refilter) become
+	// the job's Phases breakdown, and each span also lands in the
+	// process-wide phase histograms.
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(q.ctx, tr)
 
 	var (
 		res *JobResult
 		err error
 	)
 	if p.Incremental {
-		res, err = q.runIncremental(entry, p)
+		res, err = q.runIncremental(ctx, entry, p)
+		if res != nil {
+			res.Phases = toPhaseMs(tr.Phases())
+		}
 		q.finish(job, res, err)
 		return // never cached: result depends on the warm-start state
 	}
-	res, err = q.sparsify(q.ctx, entry.Graph, p)
+	res, err = q.sparsify(ctx, entry.Graph, p)
+	if res != nil {
+		res.Phases = toPhaseMs(tr.Phases())
+	}
 	q.finish(job, res, err)
 	if err == nil && q.cache != nil {
 		q.mu.Lock()
@@ -320,7 +355,7 @@ func (q *Queue) run(job *Job) {
 // becomes the graph's session; with sessions off, the legacy
 // IncrementalFunc runs; and with no warm start at all the job falls back
 // to a from-scratch run.
-func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult, error) {
+func (q *Queue) runIncremental(ctx context.Context, entry *GraphEntry, p SparsifyParams) (*JobResult, error) {
 	q.mu.Lock()
 	mgr, resume, currentHash := q.sessionMgr, q.resume, q.currentHash
 	q.mu.Unlock()
@@ -342,7 +377,7 @@ func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult,
 	// resident session.
 	if mgr != nil && p.WarmJob == "" {
 		if sess := mgr.Get(entry.Name, entry.Hash, p.sessionKey()); sess != nil {
-			res, err := sessionJobResult(q.ctx, sess)
+			res, err := sessionJobResult(ctx, sess)
 			if err == nil {
 				res.Incremental = true
 				res.SessionHit = true
@@ -361,14 +396,14 @@ func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult,
 		return nil, err
 	}
 	if warm == nil {
-		res, err := q.sparsify(q.ctx, entry.Graph, p)
+		res, err := q.sparsify(ctx, entry.Graph, p)
 		if res != nil {
 			res.Incremental = true // requested, but cold: WarmSource stays ""
 		}
 		return res, err
 	}
 	if mgr != nil && resume != nil {
-		m, err := resume(q.ctx, entry.Graph, warm, p)
+		m, err := resume(ctx, entry.Graph, warm, p)
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +428,7 @@ func (q *Queue) runIncremental(entry *GraphEntry, p SparsifyParams) (*JobResult,
 	if q.incremental == nil {
 		return nil, ErrNoRunner
 	}
-	res, err := q.incremental(q.ctx, entry.Graph, warm, p)
+	res, err := q.incremental(ctx, entry.Graph, warm, p)
 	if res != nil {
 		res.Incremental = true
 		res.WarmSource = src
@@ -501,6 +536,14 @@ func (q *Queue) finish(job *Job, res *JobResult, err error) {
 		job.Status = StatusDone
 		job.Result = res
 	}
+	// Jobs canceled while still queued never started; their wait and run
+	// durations are meaningless and stay unobserved.
+	wait, run := time.Duration(-1), time.Duration(-1)
+	if !job.Started.IsZero() {
+		wait = job.Started.Sub(job.Submitted)
+		run = job.Finished.Sub(job.Started)
+	}
+	q.metrics.observeJobDone(job.Status, wait, run)
 	q.pruneLocked()
 }
 
@@ -550,6 +593,12 @@ func (q *Queue) List() []Job {
 
 // Depth reports how many jobs are waiting in the backlog.
 func (q *Queue) Depth() int { return len(q.pending) }
+
+// InFlight reports how many jobs are currently executing on workers.
+func (q *Queue) InFlight() int { return int(q.inFlight.Load()) }
+
+// Workers reports the size of the worker pool.
+func (q *Queue) Workers() int { return q.workers }
 
 // SetRetain changes how many terminal jobs the queue remembers
 // (0 = unbounded). Takes effect on the next job completion.

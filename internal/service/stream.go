@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,10 +11,12 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
-	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"graphspar/internal/dynamic"
+	"graphspar/internal/obs"
 	"graphspar/internal/params"
 	"graphspar/internal/sessions"
 )
@@ -33,11 +36,16 @@ import (
 // ({"op":"insert","u":0,"v":1,"w":2.5}, with {"op":"commit"} as the batch
 // separator). Blank lines and #-comments are skipped. Next returns one
 // batch at a time, so multi-million-event streams never materialize in
-// memory.
+// memory. The decoder sits on the hot path of those streams, so it works
+// on the scanner's byte slices and reuses its batch buffer and JSON
+// scratch across calls — steady-state decoding does not allocate per
+// event (see TestStreamDecodeAllocs).
 type streamDecoder struct {
 	sc       *bufio.Scanner
 	lineNo   int
 	maxBatch int
+	batch    []dynamic.Update // reused backing array; see Next
+	scratch  updateJSON       // reused NDJSON decode target
 }
 
 // maxStreamLineBytes bounds one event line (a single JSON event is tiny;
@@ -53,12 +61,16 @@ func newStreamDecoder(r io.Reader, maxBatch int) *streamDecoder {
 
 // Next returns the next non-empty batch, or io.EOF at end of stream. A
 // malformed line fails the whole stream (the decoder cannot resync).
+// The returned slice shares the decoder's backing array and is only
+// valid until the next call — callers must finish applying one batch
+// before asking for the next, which the streaming protocol guarantees
+// anyway (one result line per batch).
 func (d *streamDecoder) Next() ([]dynamic.Update, error) {
-	var cur []dynamic.Update
+	cur := d.batch[:0]
 	for d.sc.Scan() {
 		d.lineNo++
-		line := strings.TrimSpace(d.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(d.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
 		var (
@@ -66,26 +78,30 @@ func (d *streamDecoder) Next() ([]dynamic.Update, error) {
 			commit bool
 			err    error
 		)
-		if strings.HasPrefix(line, "{") {
-			u, commit, err = parseJSONEvent(line)
+		if line[0] == '{' {
+			u, commit, err = d.parseJSONEvent(line)
 		} else {
-			u, commit, err = dynamic.ParseEventLine(line)
+			u, commit, err = parseTextEvent(line)
 		}
 		if err != nil {
+			d.batch = cur
 			return nil, fmt.Errorf("line %d: %w", d.lineNo, err)
 		}
 		if commit {
 			if len(cur) > 0 {
+				d.batch = cur
 				return cur, nil
 			}
 			continue // consecutive commits delimit nothing
 		}
 		cur = append(cur, u)
 		if d.maxBatch > 0 && len(cur) > d.maxBatch {
+			d.batch = cur
 			return nil, fmt.Errorf("line %d: %w: batch exceeds %d updates; split it with commit lines",
 				d.lineNo, dynamic.ErrBadUpdate, d.maxBatch)
 		}
 	}
+	d.batch = cur
 	if err := d.sc.Err(); err != nil {
 		return nil, err
 	}
@@ -97,12 +113,15 @@ func (d *streamDecoder) Next() ([]dynamic.Update, error) {
 
 // parseJSONEvent decodes one NDJSON event line — the same updateJSON
 // wire struct the PATCH body uses, so the two surfaces cannot diverge —
-// with {"op":"commit"} as the batch separator.
-func parseJSONEvent(line string) (dynamic.Update, bool, error) {
-	var ev updateJSON
-	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+// with {"op":"commit"} as the batch separator. The decode target is the
+// decoder's scratch struct, reset each call, so the only per-event
+// allocations are json-internal.
+func (d *streamDecoder) parseJSONEvent(line []byte) (dynamic.Update, bool, error) {
+	d.scratch = updateJSON{}
+	if err := json.Unmarshal(line, &d.scratch); err != nil {
 		return dynamic.Update{}, false, fmt.Errorf("%w: %v", dynamic.ErrBadUpdate, err)
 	}
+	ev := &d.scratch
 	if ev.Op == "commit" {
 		return dynamic.Update{}, true, nil
 	}
@@ -111,6 +130,114 @@ func parseJSONEvent(line string) (dynamic.Update, bool, error) {
 		return dynamic.Update{}, false, err
 	}
 	return dynamic.Update{Op: op, U: ev.U, V: ev.V, W: ev.W}, false, nil
+}
+
+// parseTextEvent mirrors dynamic.ParseEventLine on the scanner's byte
+// slice, skipping the per-line string and field-slice allocations of the
+// string form. Field splitting matches strings.Fields (any Unicode
+// whitespace separates), so the two parsers accept the same lines.
+func parseTextEvent(line []byte) (dynamic.Update, bool, error) {
+	if string(line) == "commit" {
+		return dynamic.Update{}, true, nil
+	}
+	var f [5][]byte
+	n := 0
+	for i := 0; i < len(line); {
+		r, size := utf8.DecodeRune(line[i:])
+		if unicode.IsSpace(r) {
+			i += size
+			continue
+		}
+		j := i
+		for j < len(line) {
+			r, size := utf8.DecodeRune(line[j:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			j += size
+		}
+		if n == len(f) {
+			// No event has 5 fields; fail like the field-count checks below.
+			return dynamic.Update{}, false, fmt.Errorf("%w: too many fields", dynamic.ErrBadUpdate)
+		}
+		f[n] = line[i:j]
+		n++
+		i = j
+	}
+	if n == 0 {
+		return dynamic.Update{}, false, fmt.Errorf("%w: empty event line", dynamic.ErrBadUpdate)
+	}
+	op, err := parseOpBytes(f[0])
+	if err != nil {
+		return dynamic.Update{}, false, err
+	}
+	want := 3
+	if op == dynamic.OpDelete {
+		want = 2
+	}
+	if n != want+1 {
+		return dynamic.Update{}, false, fmt.Errorf("%w: %q needs %d fields", dynamic.ErrBadUpdate, f[0], want+1)
+	}
+	u, err := atoiBytes(f[1])
+	if err != nil {
+		return dynamic.Update{}, false, err
+	}
+	v, err := atoiBytes(f[2])
+	if err != nil {
+		return dynamic.Update{}, false, err
+	}
+	w := 0.0
+	if op != dynamic.OpDelete {
+		// The only remaining conversion allocation: ParseFloat wants a
+		// string, and the number is a handful of bytes.
+		w, err = strconv.ParseFloat(string(f[3]), 64)
+		if err != nil {
+			return dynamic.Update{}, false, fmt.Errorf("%w: %v", dynamic.ErrBadUpdate, err)
+		}
+	}
+	return dynamic.Update{Op: op, U: u, V: v, W: w}, false, nil
+}
+
+// parseOpBytes is dynamic.ParseOp without the string conversion (a
+// switch on string(b) compiles allocation-free).
+func parseOpBytes(b []byte) (dynamic.Op, error) {
+	switch string(b) {
+	case "+", "insert":
+		return dynamic.OpInsert, nil
+	case "-", "delete":
+		return dynamic.OpDelete, nil
+	case "=", "reweight":
+		return dynamic.OpReweight, nil
+	}
+	return 0, fmt.Errorf("%w: unknown op %q", dynamic.ErrBadUpdate, b)
+}
+
+// atoiBytes parses a (possibly signed) decimal integer from bytes
+// without converting to string.
+func atoiBytes(b []byte) (int, error) {
+	i, neg := 0, false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, fmt.Errorf("%w: bad integer %q", dynamic.ErrBadUpdate, b)
+	}
+	n := 0
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, fmt.Errorf("%w: bad integer %q", dynamic.ErrBadUpdate, b)
+		}
+		n = n*10 + int(d)
+		if n < 0 {
+			return 0, fmt.Errorf("%w: integer %q overflows", dynamic.ErrBadUpdate, b)
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
 }
 
 // streamParams fills SparsifyParams from the stream endpoint's query
@@ -201,8 +328,14 @@ func (s *Server) applySessionBatch(ctx context.Context, sess *sessions.Session, 
 		}
 		// The apply itself runs under Background: once the maintainer
 		// passes its commit point a cancellation could strand it half
-		// maintained, and batches are bounded so the work is too.
-		if err := m.Apply(context.Background(), batch); err != nil {
+		// maintained, and batches are bounded so the work is too. The
+		// caller's phase trace (if any) still rides along — spans are
+		// observability, not cancellation.
+		applyCtx := context.Background()
+		if tr := obs.FromContext(ctx); tr != nil {
+			applyCtx = obs.WithTrace(applyCtx, tr)
+		}
+		if err := m.Apply(applyCtx, batch); err != nil {
 			if isBatchRejection(err) {
 				return "", err
 			}
@@ -256,6 +389,10 @@ type streamLine struct {
 	RejectedTotal   int             `json:"rejected_total,omitempty"`
 	Graph           *graphInfo      `json:"graph,omitempty"`
 	SessionStats    *sessions.Stats `json:"session_stats,omitempty"`
+	// Phases is this batch's maintenance breakdown (settle, refilter,
+	// embed, verify; plus the build phases on a cold first batch). Only
+	// populated with ?trace=1.
+	Phases []PhaseMs `json:"phases,omitempty"`
 
 	fatal        bool // stop reading the request body after this line
 	sessionStats sessions.Stats
@@ -299,6 +436,7 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 		flush()
 	}
 
+	trace := r.URL.Query().Get("trace") == "1"
 	key := p.sessionKey()
 	dec := newStreamDecoder(r.Body, maxPatchUpdates)
 	var batches, applied, rejected int
@@ -313,16 +451,32 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		batches++
-		line := s.streamApply(r.Context(), name, key, p, batch)
+		// Each batch gets its own trace, so the per-line Phases are that
+		// batch's work alone.
+		ctx := r.Context()
+		var tr *obs.Trace
+		if trace {
+			tr = obs.NewTrace()
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		t0 := time.Now()
+		line := s.streamApply(ctx, name, key, p, batch)
 		line.Batch = batches
 		line.Updates = len(batch)
+		outcome := "failed"
 		switch {
 		case line.Applied:
+			outcome = "applied"
 			applied++
 			st := line.sessionStats
 			lastStats = &st
 		case line.Rejected:
+			outcome = "rejected"
 			rejected++
+		}
+		s.metrics.observeStreamBatch(outcome, time.Since(t0))
+		if tr != nil {
+			line.Phases = toPhaseMs(tr.Phases())
 		}
 		emit(line)
 		if line.fatal {

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"graphspar/internal/dynamic"
+)
+
+// buildEventBody renders n events (rotating insert/reweight/delete) with
+// a commit line every batchEvery events, in the given wire format.
+func buildEventBody(n, batchEvery int, jsonMode bool) []byte {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		switch {
+		case jsonMode && i%3 == 2:
+			fmt.Fprintf(&b, "{\"op\":\"delete\",\"u\":%d,\"v\":%d}\n", i, i+1)
+		case jsonMode:
+			fmt.Fprintf(&b, "{\"op\":\"insert\",\"u\":%d,\"v\":%d,\"w\":1.5}\n", i, i+1)
+		case i%3 == 2:
+			fmt.Fprintf(&b, "- %d %d\n", i, i+1)
+		case i%3 == 1:
+			fmt.Fprintf(&b, "= %d %d 2.25\n", i, i+1)
+		default:
+			fmt.Fprintf(&b, "+ %d %d 1.5\n", i, i+1)
+		}
+		if (i+1)%batchEvery == 0 {
+			b.WriteString("commit\n")
+		}
+	}
+	return b.Bytes()
+}
+
+// drainDecoder decodes an entire body, returning events seen.
+func drainDecoder(body []byte) (int, error) {
+	d := newStreamDecoder(bytes.NewReader(body), 0)
+	total := 0
+	for {
+		batch, err := d.Next()
+		if errors.Is(err, io.EOF) {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+		total += len(batch)
+	}
+}
+
+// TestStreamDecoderMatchesParseEventLine cross-checks the bytes-based
+// text parser against dynamic.ParseEventLine on accept/reject and on the
+// decoded values.
+func TestStreamDecoderMatchesParseEventLine(t *testing.T) {
+	lines := []string{
+		"+ 0 1 1.5", "- 3 4", "= 5 6 0.25", "insert 1 2 3", "delete 7 8",
+		"reweight 9 10 1e-3", "commit",
+		"+ 0 1", "- 3", "= 1 2 x", "bogus 1 2 3", "+ a b 1", "+ 1 2 3 4",
+		"+ 1 2 1.5", // unicode whitespace separators
+		"- -1 2", "+ 1 2 +3.5", "commit extra",
+	}
+	for _, line := range lines {
+		wantU, wantCommit, wantErr := dynamic.ParseEventLine(line)
+		gotU, gotCommit, gotErr := parseTextEvent([]byte(line))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("%q: err mismatch: want %v, got %v", line, wantErr, gotErr)
+			continue
+		}
+		if wantCommit != gotCommit || (wantErr == nil && gotU != wantU) {
+			t.Errorf("%q: got (%+v, %v), want (%+v, %v)", line, gotU, gotCommit, wantU, wantCommit)
+		}
+	}
+}
+
+// TestStreamDecodeAllocs pins the decoder's steady-state allocation
+// behavior: decoding thousands of text events must cost a small constant
+// number of allocations (scanner buffer, batch-array growth), i.e. zero
+// per event. A per-event allocation regression blows straight past the
+// bound.
+func TestStreamDecodeAllocs(t *testing.T) {
+	const events = 4096
+	body := buildEventBody(events, 64, false)
+	// Warm once so text parsing paths are compiled/initialized.
+	if n, err := drainDecoder(body); err != nil || n != events {
+		t.Fatalf("drain: %d events, err %v", n, err)
+	}
+	per := testing.AllocsPerRun(10, func() {
+		if _, err := drainDecoder(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 40 {
+		t.Errorf("decoding %d events allocated %.0f times; want <= 40 (per-event allocations must be zero)", events, per)
+	}
+}
+
+func BenchmarkStreamDecode(b *testing.B) {
+	const events = 8192
+	for _, mode := range []struct {
+		name string
+		json bool
+	}{{"text", false}, {"json", true}} {
+		body := buildEventBody(events, 100, mode.json)
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := drainDecoder(body)
+				if err != nil || n != events {
+					b.Fatalf("%d events, err %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamDecoderBatchReuse documents the contract that each batch is
+// only valid until the next Next call: the second batch reuses the first
+// one's backing array.
+func TestStreamDecoderBatchReuse(t *testing.T) {
+	d := newStreamDecoder(strings.NewReader("+ 0 1 1\ncommit\n+ 2 3 1\n"), 0)
+	b1, err := d.Next()
+	if err != nil || len(b1) != 1 {
+		t.Fatalf("batch 1: %v %v", b1, err)
+	}
+	first := b1[0]
+	b2, err := d.Next()
+	if err != nil || len(b2) != 1 {
+		t.Fatalf("batch 2: %v %v", b2, err)
+	}
+	if b1[0] == first {
+		t.Error("second Next did not reuse the first batch's backing array (reuse contract untested)")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"graphspar/internal/core"
 	"graphspar/internal/engine"
+	"graphspar/internal/obs"
 )
 
 // RoundStats records one densification iteration of the single-shot
@@ -13,6 +14,17 @@ type RoundStats = core.RoundStats
 
 // ShardStats reports one shard's sparsification in a sharded run.
 type ShardStats = engine.ShardStats
+
+// Phase is one timed pipeline span (partition, shard, stitch, embed,
+// verify, settle, refilter, ...). Start is the offset from the start of
+// the trace that collected it.
+type Phase = obs.Phase
+
+// Trace collects the Phase spans of one request; obtain one bound to a
+// context with NewTraceContext. Run also returns its spans in
+// Result.Phases, so an explicit Trace is only needed for Stream.Apply
+// (which has no result struct to hang phases on).
+type Trace = obs.Trace
 
 // Timings breaks a Run down by phase. Single-shot runs fill only
 // Sparsify, Verify and Wall; sharded runs fill every field. ShardCPU sums
@@ -76,6 +88,12 @@ type Result struct {
 	VerifiedCond      float64
 
 	Timings Timings
+
+	// Phases is the ordered span trace of this run: every timed pipeline
+	// phase with its offset and duration. Finer-grained than Timings
+	// (embed rounds and re-filter passes appear individually) and shared
+	// with any trace the caller attached via NewTraceContext.
+	Phases []Phase
 }
 
 // Density returns |E_P| / |V|, the sparsifier density the paper reports.

@@ -1,0 +1,117 @@
+package graphspar_test
+
+// Phase-trace coverage of the facade: both execution paths must return a
+// populated Result.Phases, the single-shot Timings must be span-derived
+// (Verify > 0 under WithVerification), and a caller-attached trace
+// (NewTraceContext) must see the same spans the Result reports.
+
+import (
+	"context"
+	"testing"
+
+	"graphspar"
+	"graphspar/internal/gen"
+)
+
+// phaseNames collects the distinct phase names of a trace.
+func phaseNames(phases []graphspar.Phase) map[string]int {
+	names := make(map[string]int)
+	for _, p := range phases {
+		names[p.Name]++
+	}
+	return names
+}
+
+func TestRunPhasesSingleShot(t *testing.T) {
+	g, err := gen.Grid2D(20, 20, gen.UniformWeights, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := graphspar.New(
+		graphspar.WithSigma2(60),
+		graphspar.WithSeed(7),
+		graphspar.WithShards(1),
+		graphspar.WithVerification(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := phaseNames(res.Phases)
+	for _, want := range []string{"sparsify", "embed", "verify"} {
+		if names[want] == 0 {
+			t.Errorf("Phases missing %q (got %v)", want, names)
+		}
+	}
+	if res.Timings.Sparsify <= 0 {
+		t.Errorf("Timings.Sparsify = %v, want > 0", res.Timings.Sparsify)
+	}
+	if res.Timings.Verify <= 0 {
+		t.Errorf("Timings.Verify = %v, want > 0 with WithVerification", res.Timings.Verify)
+	}
+	// The Verify timing is the verify span itself.
+	for _, p := range res.Phases {
+		if p.Name == "verify" && p.Duration != res.Timings.Verify {
+			t.Errorf("verify phase duration %v != Timings.Verify %v", p.Duration, res.Timings.Verify)
+		}
+	}
+}
+
+func TestRunPhasesSharded(t *testing.T) {
+	g, _, err := gen.SBM(4, 60, 0.2, 0.02, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := graphspar.New(
+		graphspar.WithSigma2(60),
+		graphspar.WithSeed(7),
+		graphspar.WithShards(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := phaseNames(res.Phases)
+	for _, want := range []string{"partition", "shard", "stitch", "refilter", "verify"} {
+		if names[want] == 0 {
+			t.Errorf("Phases missing %q (got %v)", want, names)
+		}
+	}
+	if res.Timings.Verify <= 0 {
+		t.Errorf("Timings.Verify = %v, want > 0 (sharded default verification)", res.Timings.Verify)
+	}
+}
+
+// TestNewTraceContextShared: a caller-attached trace collects the same
+// spans Run reports, so a serving layer can observe phases without
+// touching the Result.
+func TestNewTraceContextShared(t *testing.T) {
+	g, err := gen.Grid2D(12, 12, gen.UniformWeights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := graphspar.New(graphspar.WithSigma2(80), graphspar.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, tr := graphspar.NewTraceContext(context.Background())
+	res, err := s.Run(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Phases()
+	if len(got) == 0 || len(got) != len(res.Phases) {
+		t.Fatalf("caller trace has %d phases, result has %d", len(got), len(res.Phases))
+	}
+	for i := range got {
+		if got[i] != res.Phases[i] {
+			t.Errorf("phase %d: trace %+v != result %+v", i, got[i], res.Phases[i])
+		}
+	}
+}
