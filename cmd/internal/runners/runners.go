@@ -38,6 +38,22 @@ func facadeFor(p service.SparsifyParams, withVerification bool) (*graphspar.Spar
 	if p.MaxEdges > 0 {
 		opts = append(opts, graphspar.WithMaxEdges(p.MaxEdges))
 	}
+	if p.Mode == graphspar.ModeMultilevel.String() {
+		// Canon left "multilevel" as the only surviving mode string and
+		// already zeroed Shards; the coarsen knobs ride along (0 keeps the
+		// library defaults) and Workers bounds the per-level embedding.
+		opts = append(opts, graphspar.WithMode(graphspar.ModeMultilevel))
+		if p.CoarsenLevels > 0 {
+			opts = append(opts, graphspar.WithCoarsenLevels(p.CoarsenLevels))
+		}
+		if p.CoarsenRatio > 0 {
+			opts = append(opts, graphspar.WithCoarsenRatio(p.CoarsenRatio))
+		}
+		if p.Workers > 0 {
+			opts = append(opts, graphspar.WithWorkers(p.Workers))
+		}
+		return graphspar.New(opts...)
+	}
 	if p.Shards > 1 {
 		opts = append(opts, graphspar.WithShards(p.Shards), graphspar.WithWorkers(p.Workers))
 		if p.Partition != "" {
@@ -86,7 +102,8 @@ func Sparsify(ctx context.Context, g *graph.Graph, p service.SparsifyParams) (*s
 		VerifiedCond:      res.VerifiedCond,
 		Sparsifier:        res.Sparsifier,
 	}
-	if res.Sharded {
+	switch {
+	case res.Sharded:
 		for _, sh := range res.Shards {
 			out.Rounds += len(sh.Rounds)
 		}
@@ -94,7 +111,13 @@ func Sparsify(ctx context.Context, g *graph.Graph, p service.SparsifyParams) (*s
 		out.CutEdges = res.CutEdges
 		out.RecoveredCut = res.RecoveredCut
 		out.ShardSpeedup = res.Speedup()
-	} else {
+	case res.Multilevel:
+		out.Multilevel = true
+		out.CoarsenDepth = res.CoarsenDepth
+		for _, lv := range res.Levels {
+			out.LevelRecovered += lv.Recovered
+		}
+	default:
 		out.Rounds = len(res.Rounds)
 		out.TotalStretch = res.TotalStretch
 	}

@@ -20,6 +20,7 @@
 //
 //	loadgen -addr http://127.0.0.1:8080 -duration 30s -c 8
 //	loadgen -selfserve -duration 10s -out BENCH_serve.json
+//	loadgen -selfserve -graph grid:40x40 -mode multilevel -mix job=1,read=2
 package main
 
 import (
@@ -57,6 +58,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed (must match the server's view of the graph)")
 		sigma2    = flag.Float64("sigma2", 50, "similarity threshold for jobs and streams")
 		shards    = flag.Int("shards", 0, "submit sharded jobs (0/1 = single-shot)")
+		mode      = flag.String("mode", "", "execution mode for job ops: single | sharded | multilevel (empty = let shards decide); jobs report as op class job:<mode>")
 		mix       = flag.String("mix", "upload=1,job=2,patch=4,stream=2,read=6", "op-class weights")
 		out       = flag.String("out", "", "write a BENCH_serve.json-shaped report to this path")
 		serveWork = flag.Int("serve-workers", 4, "job workers for -selfserve")
@@ -66,6 +68,13 @@ func main() {
 	ops, err := parseMix(*mix)
 	if err != nil {
 		fatal(err)
+	}
+	// Validate the job-op mode up front with the exact combination rules
+	// the server's Canon applies, so a bad flag fails fast instead of
+	// turning every job op into an HTTP 400.
+	jobMode := service.SparsifyParams{SigmaSq: *sigma2, Mode: *mode, Shards: *shards}
+	if err := jobMode.Canon(); err != nil {
+		fatal(fmt.Errorf("-mode/-shards: %w", err))
 	}
 	local, err := cli.LoadGraph(*spec, *seed)
 	if err != nil {
@@ -97,6 +106,7 @@ func main() {
 		seed:   *seed,
 		sigma2: *sigma2,
 		shards: *shards,
+		mode:   *mode,
 		edges:  local.Edges(),
 	}
 	if err := c.register(); err != nil {
@@ -192,10 +202,11 @@ func runLoad(c *client, ops []opWeight, conc int, d time.Duration) map[string]*o
 			n := 0
 			for time.Now().Before(deadline) {
 				name := pick(ops, rng)
-				st := stats[name]
+				label := c.opLabel(name)
+				st := stats[label]
 				if st == nil {
 					st = &opStats{}
-					stats[name] = st
+					stats[label] = st
 				}
 				t0 := time.Now()
 				err := c.do(name, id, n, rng)
@@ -240,7 +251,18 @@ type client struct {
 	seed   uint64
 	sigma2 float64
 	shards int
+	mode   string
 	edges  []graph.Edge
+}
+
+// opLabel names the op class in the report. Job ops are labeled with the
+// execution mode they request (job:multilevel, job:sharded, ...), so a
+// BENCH_serve.json from a -mode run is never confused with a default one.
+func (c *client) opLabel(op string) string {
+	if op == "job" && c.mode != "" {
+		return "job:" + c.mode
+	}
+	return op
 }
 
 func (c *client) do(op string, worker, n int, rng *rand.Rand) error {
@@ -305,6 +327,9 @@ func (c *client) job() error {
 	req := map[string]any{"graph": c.name, "sigma2": c.sigma2}
 	if c.shards > 1 {
 		req["shards"] = c.shards
+	}
+	if c.mode != "" {
+		req["mode"] = c.mode
 	}
 	var job service.Job
 	code, raw, err := c.json(http.MethodPost, "/v1/jobs", req, &job)

@@ -97,6 +97,38 @@ func TestRunSparsifyShardedEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunSparsifyMultilevelEndToEnd(t *testing.T) {
+	// 32×32 ≈ 1k vertices: enough to clear the default coarsest-size
+	// floor, so the wire request actually exercises the hierarchy.
+	g, err := graphspar.LoadGraph("grid:32x32:unit", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := canon(t, service.SparsifyParams{SigmaSq: 50, Mode: "multilevel"})
+	res, err := runSparsify(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Multilevel || res.CoarsenDepth < 2 {
+		t.Errorf("multilevel metadata: Multilevel=%v CoarsenDepth=%d", res.Multilevel, res.CoarsenDepth)
+	}
+	if !res.Connected {
+		t.Error("multilevel sparsifier disconnected")
+	}
+	if !res.TargetMet || res.VerifiedCond <= 0 || res.VerifiedCond > 50 {
+		t.Errorf("certificate: met=%v verified κ=%v", res.TargetMet, res.VerifiedCond)
+	}
+	if res.EdgesKept != res.Sparsifier.M() || res.EdgesInput != g.M() {
+		t.Errorf("edge counts: %+v", res)
+	}
+	// Cancellation propagates into the hierarchy.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := runSparsify(ctx, g, p); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v", err)
+	}
+}
+
 // ------------------------------------------------------- HTTP end to end
 
 type submitReq struct {

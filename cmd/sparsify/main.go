@@ -8,6 +8,7 @@
 //	sparsify -graph grid:300x300:uniform -sigma2 100 [-out sparsifier.mtx]
 //	sparsify -graph problem.mtx -sigma2 50 -tree akpw -t 2
 //	sparsify -graph grid:512x512:uniform -sigma2 100 -shards 8 -workers 4
+//	sparsify -graph grid:1024x1024:unit -sigma2 100 -mode multilevel -coarsen-ratio 0.6
 //	sparsify -graph grid:200x200 -sigma2 100 -update-stream events.txt
 //	sparsify -remote http://localhost:8080 -graph mygraph -sigma2 100 -update-stream events.txt
 //
@@ -52,9 +53,12 @@ func main() {
 		treeAlg   = flag.String("tree", "maxweight", "backbone tree: maxweight | dijkstra | akpw")
 		tSteps    = flag.Int("t", 2, "generalized power iteration steps for edge embedding")
 		rVecs     = flag.Int("r", 0, "random probe vectors (0 = O(log n))")
+		mode      = flag.String("mode", "auto", "execution path: auto | single | sharded | multilevel")
 		shards    = flag.Int("shards", 1, "k-way shards for the parallel engine (1 = single-shot, 0 = auto by graph size)")
 		workers   = flag.Int("workers", 0, "concurrent shard sparsifications (0 = all cores)")
 		partAlg   = flag.String("partition", "bfs", "engine bisector: bfs | direct | iterative | sparsifier-only")
+		coarsenLv = flag.Int("coarsen-levels", 0, "multilevel hierarchy depth cap (0 = until the coarsest-size floor)")
+		coarsenRt = flag.Float64("coarsen-ratio", 0, "multilevel coarsening progress floor in (0,1] (0 = default 0.7; 1 disables coarsening)")
 		embedWork = flag.Int("embed-workers", 0, "goroutines for the probe-vector solves (0 = sequential; any value is bit-identical)")
 		stream    = flag.String("update-stream", "", "edge-event file to replay through the incremental maintainer after the initial sparsification")
 		remote    = flag.String("remote", "", "base URL of a sparsifyd server; -update-stream replays the event file against its /stream endpoint (-graph names the registered graph)")
@@ -82,11 +86,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	execMode, err := graphspar.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
 	g, err := graphspar.LoadGraph(*spec, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("input: |V|=%d |E|=%d\n", g.N(), g.M())
+
+	// -shards 1 is the flag default, not an explicit single-shot pin: it
+	// must not contradict -mode multilevel unless the user actually typed
+	// it (in which case the facade reports the contradiction).
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) { shardsSet = shardsSet || f.Name == "shards" })
 
 	opts := []graphspar.Option{
 		graphspar.WithSigma2(*sigmaSq),
@@ -95,11 +109,22 @@ func main() {
 		graphspar.WithTreeAlgorithm(alg),
 		graphspar.WithSeed(*seed),
 		graphspar.WithEmbedWorkers(*embedWork),
-		graphspar.WithShards(*shards),
 		graphspar.WithWorkers(*workers),
+	}
+	if execMode != graphspar.ModeAuto {
+		opts = append(opts, graphspar.WithMode(execMode))
+	}
+	if execMode == graphspar.ModeAuto || shardsSet {
+		opts = append(opts, graphspar.WithShards(*shards))
 	}
 	if *shards != 1 {
 		opts = append(opts, graphspar.WithPartition(method))
+	}
+	if *coarsenLv != 0 {
+		opts = append(opts, graphspar.WithCoarsenLevels(*coarsenLv))
+	}
+	if *coarsenRt != 0 {
+		opts = append(opts, graphspar.WithCoarsenRatio(*coarsenRt))
 	}
 	s, err := graphspar.New(opts...)
 	if err != nil {
@@ -127,6 +152,27 @@ func main() {
 func report(g *graphspar.Graph, res *graphspar.Result, alg graphspar.TreeAlgorithm, method graphspar.PartitionMethod, sigmaSq float64, verbose bool) {
 	fmt.Printf("sparsifier: |Es|=%d  density |Es|/|V| = %.3f  (%.1fx edge reduction)\n",
 		res.Sparsifier.M(), res.Density(), float64(g.M())/float64(res.Sparsifier.M()))
+	if res.Multilevel {
+		fmt.Printf("hierarchy: %d levels (coarsest |V|=%d |E|=%d)\n",
+			res.CoarsenDepth, res.Levels[len(res.Levels)-1].Vertices, res.Levels[len(res.Levels)-1].Edges)
+		fmt.Printf("similarity: σ² estimate=%.1f, verified κ=%.1f (target %.1f, met=%v)\n",
+			res.SigmaSqAchieved, res.VerifiedCond, sigmaSq, res.TargetMet)
+		fmt.Printf("time: %s total  (coarsen %s, interpolate %s, refilter %s, verify %s)\n",
+			res.Timings.Wall.Round(time.Millisecond),
+			res.Timings.Coarsen.Round(time.Millisecond),
+			res.Timings.Interpolate.Round(time.Millisecond),
+			res.Timings.Refilter.Round(time.Millisecond),
+			res.Timings.Verify.Round(time.Millisecond))
+		if verbose {
+			fmt.Println("level  |V|      |E|      tree   inherit  recov  kept     σ²est  κver")
+			for _, lv := range res.Levels {
+				fmt.Printf("%5d  %7d  %7d  %5d  %7d  %5d  %7d  %5.1f  %.1f\n",
+					lv.Level, lv.Vertices, lv.Edges, lv.TreeEdges, lv.Inherited, lv.Recovered,
+					lv.Kept, lv.SigmaSqEst, lv.VerifiedCond)
+			}
+		}
+		return
+	}
 	if !res.Sharded {
 		fmt.Printf("similarity: λmax=%.3f λmin=%.3f  σ² achieved=%.1f (target %.1f)\n",
 			res.LambdaMax, res.LambdaMin, res.SigmaSqAchieved, sigmaSq)

@@ -52,6 +52,36 @@ func ExampleSparsifier_Run() {
 	// target met: true
 }
 
+// WithMode pins the execution path — here the multilevel hierarchy
+// engine, which coarsens the graph, sparsifies the coarsest level with
+// the full pipeline, and interpolates + re-filters the selection back
+// level by level. The certificate is verified on the original graph.
+func ExampleWithMode() {
+	g, err := graphspar.LoadGraph("grid:32x32:unit", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := graphspar.New(
+		graphspar.WithSigma2(50),
+		graphspar.WithSeed(1),
+		graphspar.WithMode(graphspar.ModeMultilevel),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("multilevel:", res.Multilevel)
+	fmt.Println("levels:", res.CoarsenDepth > 1)
+	fmt.Println("certified:", res.TargetMet && res.VerifiedCond <= 50)
+	// Output:
+	// multilevel: true
+	// levels: true
+	// certified: true
+}
+
 // Maintain returns a live Stream: apply batched edge updates and the
 // sparsifier's σ² certificate is kept valid incrementally instead of
 // re-running the pipeline per mutation.

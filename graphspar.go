@@ -36,18 +36,27 @@ import (
 	"graphspar/internal/core"
 	"graphspar/internal/dynamic"
 	"graphspar/internal/engine"
+	"graphspar/internal/multilevel"
 	"graphspar/internal/obs"
+	"graphspar/internal/partition"
 )
 
-// Auto-sharding policy: with no explicit WithShards choice, Run uses the
-// single-shot pipeline below AutoShardEdges edges and the sharded engine
-// with AutoShards shards at or above it. The threshold is where the
-// engine's fixed costs (partitioning, the global re-filter pass) start
+// Auto path policy: with no explicit WithMode/WithShards choice, Run uses
+// the single-shot pipeline below AutoShardEdges edges and a parallel path
+// at or above it — the sharded engine by default, or the multilevel
+// hierarchy for inputs the flat partition handles badly: graphs at or
+// beyond AutoMultilevelEdges edges (too big for the per-shard single-shot
+// core) and ill-partitioned graphs, where a cheap O(n+m) BFS bisection
+// probe finds at least AutoIllCutFraction of the edges crossing a
+// balanced cut (stitching would degrade into global re-filter passes over
+// that cut). The thresholds are where each path's fixed costs start
 // paying for themselves; the policy depends only on the graph, never on
 // the machine, so results stay reproducible across hosts.
 const (
-	AutoShardEdges = 200_000
-	AutoShards     = 4
+	AutoShardEdges      = 200_000
+	AutoShards          = 4
+	AutoMultilevelEdges = 1_000_000
+	AutoIllCutFraction  = 0.10
 )
 
 // Sparsifier is a reusable, immutable sparsification configuration. The
@@ -96,10 +105,55 @@ func (s *Sparsifier) Run(ctx context.Context, g *Graph) (*Result, error) {
 		tr = obs.NewTrace()
 		ctx = obs.WithTrace(ctx, tr)
 	}
-	if s.shardsFor(g) > 1 {
+	switch s.modeFor(g) {
+	case ModeMultilevel:
+		return s.runMultilevel(ctx, g, tr)
+	case ModeSharded:
 		return s.runSharded(ctx, g, tr)
 	}
 	return s.runSingle(ctx, g, tr)
+}
+
+// modeFor resolves the execution path for a graph: the explicit WithMode
+// choice when set, a WithShards pin next, then the auto policy documented
+// on the Auto* constants.
+func (s *Sparsifier) modeFor(g *Graph) Mode {
+	if s.cfg.mode != ModeAuto {
+		return s.cfg.mode
+	}
+	if s.cfg.shards == 1 {
+		return ModeSingleShot
+	}
+	if s.cfg.shards > 1 {
+		return ModeSharded
+	}
+	if s.cfg.maxEdges > 0 || g.M() < AutoShardEdges {
+		return ModeSingleShot
+	}
+	if g.M() >= AutoMultilevelEdges || s.illPartitioned(g) {
+		return ModeMultilevel
+	}
+	return ModeSharded
+}
+
+// illPartitioned probes whether flat sharding would fight the topology:
+// it runs the engine's own solver-free BFS level-set bisector and reports
+// whether the balanced cut crosses at least AutoIllCutFraction of the
+// edges. On such graphs (dense blocks the partition must slice through)
+// stitching degrades into global re-filter passes over the cut, which is
+// exactly the work the multilevel hierarchy avoids. O(n+m), deterministic.
+func (s *Sparsifier) illPartitioned(g *Graph) bool {
+	pr, err := partition.SpectralBisect(g, partition.Options{Method: partition.BFS, Seed: s.cfg.effectiveSeed()})
+	if err != nil {
+		return false
+	}
+	cut := 0
+	for _, e := range g.Edges() {
+		if pr.Signs[e.U] != pr.Signs[e.V] {
+			cut++
+		}
+	}
+	return float64(cut) >= AutoIllCutFraction*float64(g.M())
 }
 
 // NewTraceContext attaches a fresh phase trace to ctx. Run records its
@@ -113,12 +167,19 @@ func NewTraceContext(ctx context.Context) (context.Context, *Trace) {
 }
 
 // shardsFor resolves the effective shard count for a graph: the explicit
-// WithShards choice when set, otherwise the auto policy. An edge budget
-// (WithMaxEdges) pins auto to single-shot — the engine would apply the
-// cap per shard, silently inflating it.
+// WithShards choice when set, then the WithMode pin (ModeSharded defaults
+// to AutoShards; the other pinned modes never shard), otherwise the auto
+// policy. An edge budget (WithMaxEdges) pins auto to single-shot — the
+// engine would apply the cap per shard, silently inflating it.
 func (s *Sparsifier) shardsFor(g *Graph) int {
 	if s.cfg.shards != 0 {
 		return s.cfg.shards
+	}
+	switch s.cfg.mode {
+	case ModeSharded:
+		return AutoShards
+	case ModeSingleShot, ModeMultilevel:
+		return 1
 	}
 	if s.cfg.maxEdges == 0 && g.M() >= AutoShardEdges {
 		return AutoShards
@@ -219,6 +280,45 @@ func (s *Sparsifier) runSharded(ctx context.Context, g *Graph, tr *obs.Trace) (*
 	return res, nil
 }
 
+// runMultilevel executes the coarsen → sparsify-coarse → interpolate →
+// refilter hierarchy engine.
+func (s *Sparsifier) runMultilevel(ctx context.Context, g *Graph, tr *obs.Trace) (*Result, error) {
+	mr, err := multilevel.Run(ctx, g, s.cfg.multilevelOptions())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Sparsifier:      mr.Sparsifier,
+		Multilevel:      true,
+		CoarsenDepth:    mr.Depth,
+		Levels:          mr.Levels,
+		LambdaMax:       mr.LambdaMax,
+		LambdaMin:       mr.LambdaMin,
+		SigmaSqAchieved: mr.SigmaSqEst,
+		TargetMet:       mr.TargetMet,
+		Parts:           1,
+		Verified:        s.cfg.verify != verifyOff,
+		Timings: Timings{
+			Coarsen:     mr.CoarsenTime,
+			Interpolate: mr.InterpolateTime,
+			Refilter:    mr.RefilterTime,
+			Sparsify:    mr.WallTime - mr.VerifyTime,
+			Verify:      mr.VerifyTime,
+			Wall:        mr.WallTime,
+		},
+	}
+	if res.Verified {
+		res.VerifiedLambdaMax = mr.VerifiedLambdaMax
+		res.VerifiedLambdaMin = mr.VerifiedLambdaMin
+		res.VerifiedCond = mr.VerifiedCond
+	}
+	res.Phases = tr.Phases()
+	if !res.TargetMet {
+		return res, ErrNoTarget
+	}
+	return res, nil
+}
+
 // Maintain sparsifies g from scratch and returns a Stream that keeps the
 // sparsifier's σ² certificate valid under batched edge updates (see
 // Stream.Apply). The stream's full builds and rebuilds route through the
@@ -241,6 +341,11 @@ func (s *Sparsifier) Maintain(ctx context.Context, g *Graph) (*Stream, error) {
 func (s *Sparsifier) maintainable() error {
 	if s.cfg.maxEdges > 0 {
 		return fmt.Errorf("%w: WithMaxEdges does not compose with Maintain/Resume", ErrInvalidOptions)
+	}
+	if s.cfg.mode == ModeMultilevel {
+		// The maintainer's rebuilds route through single-shot or the
+		// sharded engine; a pinned hierarchy mode cannot be honored.
+		return fmt.Errorf("%w: WithMode(ModeMultilevel) does not compose with Maintain/Resume", ErrInvalidOptions)
 	}
 	return nil
 }

@@ -3,15 +3,12 @@ package engine
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 
-	"graphspar/internal/cholesky"
 	"graphspar/internal/core"
 	"graphspar/internal/graph"
 	"graphspar/internal/lsst"
 	"graphspar/internal/obs"
-	"graphspar/internal/vecmath"
 )
 
 // stitch merges the per-shard sparsifiers and splits the partition's cut
@@ -65,107 +62,17 @@ func stitch(g *graph.Graph, labels []int, outs []shardOut) (keptIDs, stitchedIDs
 // refilter runs the global embedding pass(es): estimate the extreme
 // generalized eigenvalues of (L_G, L_P) on the stitched graph, and if the
 // σ² target is unmet, recover the cut edges whose normalized Joule heat
-// beats the similarity-aware threshold (eq. 15) — exactly core's
-// per-round filter, applied once at full size. Returns the final
-// sparsifier, how many cut edges were recovered, and the λ estimates of
-// the last pass.
+// beats the similarity-aware threshold (eq. 15) — core.Refilter applied
+// to the partition's cut edges. Returns the final sparsifier, how many
+// cut edges were recovered, and the λ estimates of the last pass.
 func refilter(ctx context.Context, g *graph.Graph, keptIDs, candIDs []int, opt Options) (*graph.Graph, int, float64, float64, error) {
 	defer obs.StartSpan(ctx, "refilter").End()
-	t, r, powerIters, batchFraction := opt.Sparsify.EffectiveEmbed(g.N())
-	sigma := opt.Sparsify.SigmaSq
-	rng := vecmath.NewRNG(opt.Seed ^ 0x5717c4)
-
-	p, err := g.SubgraphEdges(keptIDs)
+	p, _, recovered, lmax, lmin, err := core.Refilter(ctx, g, keptIDs, candIDs, opt.Sparsify, opt.RefilterRounds, opt.Workers, opt.Seed^0x5717c4)
 	if err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("engine: stitched graph: %w", err)
-	}
-	recovered := 0
-	var lmax, lmin float64
-	for pass := 0; pass < opt.RefilterRounds; pass++ {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, 0, 0, err
+		if ctx.Err() == nil {
+			err = fmt.Errorf("engine: global %w", err)
 		}
-		solver, err := cholesky.NewLapSolver(p)
-		if err != nil {
-			return nil, 0, 0, 0, fmt.Errorf("engine: stitched solver: %w", err)
-		}
-		lmax, err = core.EstimateLambdaMax(g, p, solver, powerIters, rng.Uint64())
-		if err != nil {
-			return nil, 0, 0, 0, fmt.Errorf("engine: global λmax estimation: %w", err)
-		}
-		lmin = core.EstimateLambdaMin(g, p)
-		if lmax < lmin {
-			lmax = lmin
-		}
-		if lmin <= 0 || lmax/lmin <= sigma || len(candIDs) == 0 {
-			break
-		}
-
-		heats, maxHeat := core.EmbedOffTreeParallel(g, solver, candIDs, t, r, rng.Uint64(), opt.Workers)
-		theta := core.Threshold(sigma, lmin, lmax, t)
-
-		// Rank the passing candidates by heat and add them in capped
-		// batches — §3.7's small-portions discipline at full size. A badly
-		// cut graph (think SBM split through its blocks) makes the
-		// stitched estimate so loose that θσ admits nearly every cut
-		// edge; accepting them all at once would densify far past what
-		// the target needs.
-		type cand struct {
-			pos  int
-			heat float64
-		}
-		var passing []cand
-		if maxHeat > 0 {
-			for i, h := range heats {
-				if h/maxHeat >= theta {
-					passing = append(passing, cand{i, h})
-				}
-			}
-		}
-		sort.Slice(passing, func(a, b int) bool {
-			if passing[a].heat != passing[b].heat {
-				return passing[a].heat > passing[b].heat
-			}
-			return passing[a].pos < passing[b].pos
-		})
-		limit := int(math.Ceil(batchFraction * float64(len(passing))))
-		if limit < 1 {
-			limit = 1
-		}
-		if len(passing) == 0 {
-			// Estimates say the target is unmet but no candidate beats the
-			// threshold: force the hottest cut edge in to keep moving.
-			best, bestHeat := -1, -1.0
-			for i, h := range heats {
-				if h > bestHeat {
-					best, bestHeat = i, h
-				}
-			}
-			if best < 0 {
-				break
-			}
-			passing = []cand{{best, bestHeat}}
-		}
-		if limit > len(passing) {
-			limit = len(passing)
-		}
-		taken := make(map[int]bool, limit)
-		for _, c := range passing[:limit] {
-			taken[c.pos] = true
-			keptIDs = append(keptIDs, candIDs[c.pos])
-		}
-		recovered += limit
-		rest := candIDs[:0:0]
-		for i, id := range candIDs {
-			if !taken[i] {
-				rest = append(rest, id)
-			}
-		}
-		candIDs = rest
-		p, err = g.SubgraphEdges(keptIDs)
-		if err != nil {
-			return nil, 0, 0, 0, fmt.Errorf("engine: densified stitched graph: %w", err)
-		}
+		return nil, 0, 0, 0, err
 	}
 	return p, recovered, lmax, lmin, nil
 }

@@ -113,6 +113,16 @@ func New(g *graph.Graph, opt Options) (*Hierarchy, error) {
 // Levels returns the number of levels in the hierarchy.
 func (h *Hierarchy) Levels() int { return len(h.levels) }
 
+// AggregateGraph runs one heavy-edge aggregation pass on the Laplacian
+// of g and returns the vertex → aggregate mapping together with the
+// aggregate count. This is the exact coarsening step the multigrid
+// hierarchy uses between levels, exposed for the multilevel
+// sparsification engine, which contracts the graph along the same
+// aggregates. Deterministic: depends only on the graph.
+func AggregateGraph(g *graph.Graph) ([]int, int) {
+	return aggregate(g.Laplacian())
+}
+
 // aggregate performs heavy-edge aggregation: unaggregated vertices seed
 // aggregates and absorb their unaggregated neighbors; leftovers join the
 // aggregate of their strongest neighbor.

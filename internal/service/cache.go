@@ -34,6 +34,19 @@ type SparsifyParams struct {
 	// Partition picks the engine's bisector: "bfs" (default), "direct",
 	// "iterative" or "sparsifier-only". Only meaningful with shards > 1.
 	Partition string `json:"partition,omitempty"`
+	// Mode pins the execution path: "single", "sharded" or "multilevel".
+	// The wire contract is explicit — "auto" (the facade's graph-size
+	// policy) is rejected, because a cache key must not depend on which
+	// path the policy would pick for a particular graph. "single" and
+	// "sharded" are redundant with Shards and canonicalize to ""; only
+	// "multilevel" survives canonicalization as a mode string.
+	Mode string `json:"mode,omitempty"`
+	// CoarsenLevels/CoarsenRatio tune the multilevel hierarchy (0 keeps
+	// the library defaults: depth bounded by the coarsest-size floor,
+	// ratio 0.7). Only meaningful — and only accepted — with
+	// mode=multilevel.
+	CoarsenLevels int     `json:"coarsen_levels,omitempty"`
+	CoarsenRatio  float64 `json:"coarsen_ratio,omitempty"`
 	// Incremental warm-starts the job from a prior job's sparsifier
 	// (dynamic.Resume) instead of sparsifying from scratch — the fast path
 	// after PATCHing a graph's edges. Incremental jobs bypass the result
@@ -100,6 +113,10 @@ func (p *SparsifyParams) Canon() error {
 	if err := params.Sharding(p.Shards, p.Workers, wireLimits); err != nil {
 		return err
 	}
+	mode, err := p.canonMode()
+	if err != nil {
+		return err
+	}
 	if !p.Incremental && p.WarmJob != "" {
 		return fmt.Errorf("%w: warm_job requires incremental=true", params.ErrBadCombination)
 	}
@@ -108,6 +125,13 @@ func (p *SparsifyParams) Canon() error {
 		// whatever the certificate needs. Reject rather than silently
 		// returning an unbounded result.
 		return fmt.Errorf("%w: max_edges does not compose with incremental", params.ErrBadCombination)
+	}
+	if mode == params.ModeMultilevel {
+		// Partition is a sharded-engine knob. Workers survives: it bounds
+		// the hierarchy's per-level embedding concurrency (and, like
+		// everywhere else, never changes the result).
+		p.Partition = ""
+		return nil
 	}
 	if p.Shards == 0 {
 		// Engine-only knobs are meaningless single-shot; zero them so the
@@ -130,11 +154,59 @@ func (p *SparsifyParams) Canon() error {
 	return nil
 }
 
+// canonMode validates the execution-mode request and reduces it to its
+// canonical wire spelling. Requires the shards field to be canonical
+// already (negative and 1 folded to 0), so mode/shards contradictions
+// are judged against what the key will actually store.
+func (p *SparsifyParams) canonMode() (params.Mode, error) {
+	if p.Mode == "auto" {
+		// ParseMode accepts "auto", but on the wire it would make the cache
+		// key depend on the facade's per-graph policy; the contract here is
+		// an explicit path (or no mode field at all).
+		return 0, fmt.Errorf("%w: mode \"auto\" is a client-side policy; omit mode or request single, sharded or multilevel", params.ErrBadMode)
+	}
+	mode, err := params.ParseMode(p.Mode)
+	if err != nil {
+		return 0, err
+	}
+	if err := params.Coarsen(p.CoarsenLevels, p.CoarsenRatio); err != nil {
+		return 0, err
+	}
+	if mode != params.ModeMultilevel && (p.CoarsenLevels != 0 || p.CoarsenRatio != 0) {
+		return 0, fmt.Errorf("%w: coarsen knobs require mode=multilevel", params.ErrBadCombination)
+	}
+	switch mode {
+	case params.ModeSingleShot:
+		if p.Shards > 1 {
+			return 0, fmt.Errorf("%w: mode=single contradicts shards=%d", params.ErrBadCombination, p.Shards)
+		}
+		p.Mode = "" // shards=0 already spells single-shot
+	case params.ModeSharded:
+		if p.Shards <= 1 {
+			return 0, fmt.Errorf("%w: mode=sharded requires shards > 1", params.ErrBadCombination)
+		}
+		p.Mode = "" // shards>1 already spells sharded
+	case params.ModeMultilevel:
+		if p.Shards != 0 {
+			return 0, fmt.Errorf("%w: mode=multilevel does not compose with shards", params.ErrBadCombination)
+		}
+		if p.MaxEdges > 0 {
+			return 0, fmt.Errorf("%w: max_edges is a single-shot knob; it does not compose with multilevel", params.ErrBadCombination)
+		}
+		if p.Incremental || p.WarmJob != "" {
+			return 0, fmt.Errorf("%w: multilevel does not compose with incremental warm starts", params.ErrBadCombination)
+		}
+		p.Mode = params.ModeMultilevel.String()
+	}
+	return mode, nil
+}
+
 // key returns the exact cache key for canonicalized params on a graph.
 // Workers is absent on purpose: it cannot affect the result.
 func (p SparsifyParams) key(graphHash string) string {
-	return fmt.Sprintf("%s|s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s",
-		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition)
+	return fmt.Sprintf("%s|s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s|mode=%s|cl=%d|cr=%g",
+		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition,
+		p.Mode, p.CoarsenLevels, p.CoarsenRatio)
 }
 
 // sessionKey fingerprints the parameters that shape a live maintainer —
@@ -151,11 +223,12 @@ func (p SparsifyParams) sessionKey() string {
 
 // family groups cache lines that differ only in σ², enabling the
 // coarser-target lookup: a sparsifier built for σ²=50 also certifies any
-// request for σ² ≥ 50 on the same graph with the same knobs. Sharded and
-// single-shot families are disjoint.
+// request for σ² ≥ 50 on the same graph with the same knobs. Sharded,
+// single-shot and multilevel families are disjoint.
 func (p SparsifyParams) family(graphHash string) string {
-	return fmt.Sprintf("%s|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s",
-		graphHash, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition)
+	return fmt.Sprintf("%s|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s|mode=%s|cl=%d|cr=%g",
+		graphHash, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition,
+		p.Mode, p.CoarsenLevels, p.CoarsenRatio)
 }
 
 // CacheStats is a snapshot of cache effectiveness counters.

@@ -249,3 +249,80 @@ func TestShardParamsCacheKeys(t *testing.T) {
 		t.Error("shard counts share a cache key")
 	}
 }
+
+func TestCanonModeParams(t *testing.T) {
+	// "single" and "sharded" are redundant with the shards field and
+	// canonicalize away, so mode can never contradict shards in a stored
+	// key; only "multilevel" survives.
+	p := SparsifyParams{SigmaSq: 100, Mode: "single"}
+	if err := p.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != "" || p.key("h") != testParams(100).key("h") {
+		t.Errorf("mode=single did not canonicalize to the single-shot form: %+v", p)
+	}
+	q := SparsifyParams{SigmaSq: 100, Mode: "sharded", Shards: 4}
+	bare := SparsifyParams{SigmaSq: 100, Shards: 4}
+	if err := q.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != "" || q.key("h") != bare.key("h") {
+		t.Errorf("mode=sharded did not canonicalize onto shards=4: %+v", q)
+	}
+
+	ml := SparsifyParams{SigmaSq: 100, Mode: "multilevel", Workers: 8}
+	if err := ml.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if ml.Mode != "multilevel" || ml.Shards != 0 || ml.Partition != "" {
+		t.Errorf("multilevel canonical form: %+v", ml)
+	}
+	// Workers survives for multilevel (it bounds embedding concurrency)
+	// but stays off-key.
+	if ml.Workers != 8 {
+		t.Errorf("multilevel canon dropped workers: %+v", ml)
+	}
+	w1 := ml
+	w1.Workers = 1
+	if w1.key("h") != ml.key("h") {
+		t.Error("worker count fragments the multilevel cache key")
+	}
+	// Multilevel is a distinct artifact from both other paths.
+	if ml.key("h") == testParams(100).key("h") || ml.family("h") == testParams(100).family("h") {
+		t.Error("multilevel aliases the single-shot cache line")
+	}
+	if ml.key("h") == bare.key("h") {
+		t.Error("multilevel aliases the sharded cache line")
+	}
+	// Coarsen knobs shape the hierarchy, hence the artifact and the key.
+	tuned := SparsifyParams{SigmaSq: 100, Mode: "multilevel", CoarsenLevels: 3, CoarsenRatio: 0.5}
+	if err := tuned.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if tuned.key("h") == ml.key("h") {
+		t.Error("coarsen knobs do not fragment the multilevel cache key")
+	}
+
+	for _, bad := range []SparsifyParams{
+		{SigmaSq: 100, Mode: "auto"},
+		{SigmaSq: 100, Mode: "bogus"},
+		{SigmaSq: 100, Mode: "single", Shards: 4},
+		{SigmaSq: 100, Mode: "sharded"},
+		{SigmaSq: 100, Mode: "sharded", Shards: 1},
+		{SigmaSq: 100, Mode: "multilevel", Shards: 2},
+		{SigmaSq: 100, Mode: "multilevel", MaxEdges: 50},
+		{SigmaSq: 100, Mode: "multilevel", Incremental: true},
+		{SigmaSq: 100, Mode: "multilevel", Incremental: true, WarmJob: "job-1"},
+		{SigmaSq: 100, CoarsenLevels: 2},
+		{SigmaSq: 100, CoarsenRatio: 0.5},
+		{SigmaSq: 100, Mode: "multilevel", CoarsenLevels: -1},
+		{SigmaSq: 100, Mode: "multilevel", CoarsenRatio: 1.5},
+	} {
+		if err := bad.Canon(); err == nil {
+			t.Errorf("Canon(%+v): want error", bad)
+		}
+	}
+}

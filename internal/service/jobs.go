@@ -65,6 +65,14 @@ type JobResult struct {
 	RecoveredCut int     `json:"recovered_cut_edges,omitempty"`
 	ShardSpeedup float64 `json:"shard_speedup,omitempty"`
 
+	// Multilevel-engine metadata, zero for other jobs: the hierarchy depth
+	// the run actually used (1 = the coarsening floor stopped it
+	// immediately) and how many off-tree edges the per-level re-filters
+	// recovered on the way back to the fine graph.
+	Multilevel     bool `json:"multilevel,omitempty"`
+	CoarsenDepth   int  `json:"coarsen_depth,omitempty"`
+	LevelRecovered int  `json:"level_recovered_edges,omitempty"`
+
 	// Incremental-job metadata. WarmSource names the job whose sparsifier
 	// seeded the warm start ("" = no warm start was available and the job
 	// fell back to a from-scratch run). Refilters/Rebuilds count the

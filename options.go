@@ -7,9 +7,34 @@ import (
 	"graphspar/internal/dynamic"
 	"graphspar/internal/engine"
 	"graphspar/internal/lsst"
+	"graphspar/internal/multilevel"
 	"graphspar/internal/params"
 	"graphspar/internal/partition"
 )
+
+// Mode selects Run's execution path; WithMode pins it.
+type Mode = params.Mode
+
+// Execution modes.
+const (
+	// ModeAuto (the default) picks the path from the graph: single-shot
+	// below AutoShardEdges edges, multilevel at or above
+	// AutoMultilevelEdges or when a cheap partition probe finds the graph
+	// ill-partitioned, sharded otherwise.
+	ModeAuto = params.ModeAuto
+	// ModeSingleShot pins the plain edge-filter pipeline.
+	ModeSingleShot = params.ModeSingleShot
+	// ModeSharded pins the shard-parallel engine (WithShards sets the
+	// arity; AutoShards otherwise).
+	ModeSharded = params.ModeSharded
+	// ModeMultilevel pins the coarsen → sparsify-coarse → interpolate →
+	// refilter hierarchy engine.
+	ModeMultilevel = params.ModeMultilevel
+)
+
+// ParseMode resolves an execution-mode name ("auto", "single", "sharded",
+// "multilevel"; empty means auto) for flags and wire formats.
+func ParseMode(name string) (Mode, error) { return params.ParseMode(name) }
 
 // TreeAlgorithm selects the spanning-tree backbone construction.
 type TreeAlgorithm = lsst.Algorithm
@@ -93,10 +118,14 @@ type config struct {
 	embedWorkers  int
 	seed          uint64
 
+	mode         Mode
 	shards       int // 0 = auto, 1 = single-shot pinned, >1 = sharded pinned
 	workers      int
 	partitionSet bool
 	partition    PartitionMethod
+
+	coarsenLevels int
+	coarsenRatio  float64
 
 	verify      verifyMode
 	verifySteps int
@@ -119,6 +148,27 @@ func (c *config) validate() error {
 		// does. (The auto policy respects the budget instead: shardsFor
 		// pins single-shot whenever MaxEdges is set.)
 		return fmt.Errorf("%w: WithMaxEdges is a single-shot knob; it does not compose with WithShards(%d)", params.ErrBadCombination, c.shards)
+	}
+	// WithMode and WithShards both pin the execution path; reject
+	// contradictions instead of silently preferring one.
+	switch c.mode {
+	case ModeSingleShot:
+		if c.shards > 1 {
+			return fmt.Errorf("%w: WithMode(ModeSingleShot) contradicts WithShards(%d)", params.ErrBadCombination, c.shards)
+		}
+	case ModeSharded:
+		if c.shards == 1 {
+			return fmt.Errorf("%w: WithMode(ModeSharded) contradicts WithShards(1)", params.ErrBadCombination)
+		}
+	case ModeMultilevel:
+		if c.shards != 0 {
+			return fmt.Errorf("%w: WithMode(ModeMultilevel) contradicts WithShards(%d)", params.ErrBadCombination, c.shards)
+		}
+		if c.maxEdges > 0 {
+			// The hierarchy's re-filter passes admit whatever the
+			// certificate needs, so an edge budget cannot be honored.
+			return fmt.Errorf("%w: WithMaxEdges does not compose with WithMode(ModeMultilevel)", params.ErrBadCombination)
+		}
 	}
 	return nil
 }
@@ -190,6 +240,26 @@ func (c *config) engineOptions(shards int) engine.Options {
 	return opt
 }
 
+// multilevelOptions assembles the multilevel.Options for a hierarchy run.
+// The embedding/solver knobs flow through coreOptions, so the coarsest
+// pipeline and the per-level re-filters behave exactly like the
+// single-shot path configured the same way.
+func (c *config) multilevelOptions() multilevel.Options {
+	opt := multilevel.Options{
+		Sparsify:       c.coreOptions(),
+		CoarsenLevels:  c.coarsenLevels,
+		CoarsenRatio:   c.coarsenRatio,
+		RefilterRounds: c.refilterRounds,
+		SkipVerify:     c.verify == verifyOff,
+		Workers:        c.workers,
+		Seed:           c.effectiveSeed(),
+	}
+	if c.verifySteps > 0 {
+		opt.VerifySteps = c.verifySteps
+	}
+	return opt
+}
+
 // dynamicOptions assembles the maintainer configuration for Maintain and
 // Resume. shards is the resolved count from Sparsifier.shardsFor — the
 // same policy Run uses — so a stream's full rebuilds route through the
@@ -239,9 +309,55 @@ func WithShards(k int) Option {
 	}
 }
 
+// WithMode pins Run's execution path: single-shot, sharded, or the
+// multilevel hierarchy engine; ModeAuto (the default) picks per graph as
+// documented on the constants. Contradictory combinations with WithShards
+// are rejected by New (WithShards(1) pins single-shot, k > 1 sharded).
+// ModeMultilevel does not compose with Maintain/Resume or WithMaxEdges.
+func WithMode(m Mode) Option {
+	return func(c *config) error {
+		switch m {
+		case ModeAuto, ModeSingleShot, ModeSharded, ModeMultilevel:
+			c.mode = m
+			return nil
+		}
+		return fmt.Errorf("%w: %d", params.ErrBadMode, int(m))
+	}
+}
+
+// WithCoarsenLevels caps the multilevel hierarchy depth, counting the
+// input graph as level one: 1 disables coarsening (Run is then
+// bit-identical to the single-shot pipeline), 0 restores the default cap.
+// Only multilevel runs consult it.
+func WithCoarsenLevels(n int) Option {
+	return func(c *config) error {
+		if err := params.Coarsen(n, 0); err != nil {
+			return err
+		}
+		c.coarsenLevels = n
+		return nil
+	}
+}
+
+// WithCoarsenRatio sets the acceptance ceiling on the per-step vertex
+// shrink factor nc/n of the multilevel hierarchy: a coarsening step that
+// cannot shrink below this fraction ends the hierarchy. 1 disables
+// coarsening entirely (bit-identical to single-shot), 0 restores the
+// default. Only multilevel runs consult it.
+func WithCoarsenRatio(r float64) Option {
+	return func(c *config) error {
+		if err := params.Coarsen(0, r); err != nil {
+			return err
+		}
+		c.coarsenRatio = r
+		return nil
+	}
+}
+
 // WithWorkers bounds how many shards sparsify concurrently in the sharded
-// engine (0 = all cores). Workers only affect wall-clock time, never the
-// result.
+// engine, and how many goroutines the multilevel engine's per-level
+// embedding passes use (0 = all cores). Workers only affect wall-clock
+// time, never the result.
 func WithWorkers(n int) Option {
 	return func(c *config) error {
 		c.workers = n

@@ -5,6 +5,7 @@ import (
 
 	"graphspar/internal/core"
 	"graphspar/internal/engine"
+	"graphspar/internal/multilevel"
 	"graphspar/internal/obs"
 )
 
@@ -14,6 +15,10 @@ type RoundStats = core.RoundStats
 
 // ShardStats reports one shard's sparsification in a sharded run.
 type ShardStats = engine.ShardStats
+
+// LevelStats reports one hierarchy level of a multilevel run (level 0 is
+// the input graph, the highest level the coarsest).
+type LevelStats = multilevel.LevelStats
 
 // Phase is one timed pipeline span (partition, shard, stitch, embed,
 // verify, settle, refilter, ...). Start is the offset from the start of
@@ -27,17 +32,22 @@ type Phase = obs.Phase
 type Trace = obs.Trace
 
 // Timings breaks a Run down by phase. Single-shot runs fill only
-// Sparsify, Verify and Wall; sharded runs fill every field. ShardCPU sums
-// the per-shard durations, so ShardCPU / Shard is the parallel speedup of
-// the shard phase.
+// Sparsify, Verify and Wall; sharded runs additionally fill Partition,
+// Shard, ShardCPU and Stitch; multilevel runs fill Coarsen, Interpolate
+// and Refilter (summed over levels). ShardCPU sums the per-shard
+// durations, so ShardCPU / Shard is the parallel speedup of the shard
+// phase.
 type Timings struct {
-	Partition time.Duration
-	Shard     time.Duration
-	ShardCPU  time.Duration
-	Stitch    time.Duration
-	Sparsify  time.Duration // end-to-end compute excluding verification
-	Verify    time.Duration
-	Wall      time.Duration
+	Partition   time.Duration
+	Shard       time.Duration
+	ShardCPU    time.Duration
+	Stitch      time.Duration
+	Coarsen     time.Duration
+	Interpolate time.Duration
+	Refilter    time.Duration
+	Sparsify    time.Duration // end-to-end compute excluding verification
+	Verify      time.Duration
+	Wall        time.Duration
 }
 
 // Result is the unified output of Sparsifier.Run across both execution
@@ -48,8 +58,10 @@ type Result struct {
 	// edge weights, certified (or best-effort, see TargetMet) to satisfy
 	// κ(L_G, L_P) ≤ σ².
 	Sparsifier *Graph
-	// Sharded reports which execution path ran.
-	Sharded bool
+	// Sharded/Multilevel report which execution path ran (both false for
+	// single-shot).
+	Sharded    bool
+	Multilevel bool
 
 	// LambdaMax/LambdaMin are the pipeline's own final extreme-eigenvalue
 	// estimates of L_P⁺L_G, and SigmaSqAchieved their ratio — the achieved
@@ -78,6 +90,11 @@ type Result struct {
 	CutEdges     int
 	StitchedCut  int
 	RecoveredCut int
+
+	// Multilevel fields: hierarchy depth (1 = coarsening never engaged)
+	// and per-level stats, indexed by level (0 = finest).
+	CoarsenDepth int
+	Levels       []LevelStats
 
 	// Verified reports whether the independent generalized-Lanczos check
 	// ran (sharded default, or WithVerification); Verified* carry its

@@ -88,6 +88,56 @@ func TestRunPhasesSharded(t *testing.T) {
 	}
 }
 
+// TestRunPhasesMultilevel: a multilevel run must emit the hierarchy
+// phases — coarsen, the coarse sparsify, one interpolate +
+// uncoarsen_refilter pair per finer level, and the per-level verify —
+// into Result.Phases (and through them the shared phase histogram).
+func TestRunPhasesMultilevel(t *testing.T) {
+	// 32×32 ≈ 1k vertices: two levels of coarsening before the default
+	// coarsest-size floor stops the hierarchy.
+	g, err := gen.Grid2D(32, 32, gen.UniformWeights, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := graphspar.New(
+		graphspar.WithSigma2(60),
+		graphspar.WithSeed(7),
+		graphspar.WithMode(graphspar.ModeMultilevel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Multilevel || res.Sharded {
+		t.Fatalf("expected the multilevel path (Multilevel=%v Sharded=%v)", res.Multilevel, res.Sharded)
+	}
+	if res.CoarsenDepth < 2 {
+		t.Fatalf("expected a real hierarchy, got depth %d", res.CoarsenDepth)
+	}
+	names := phaseNames(res.Phases)
+	for _, want := range []string{"coarsen", "sparsify", "interpolate", "uncoarsen_refilter", "verify"} {
+		if names[want] == 0 {
+			t.Errorf("Phases missing %q (got %v)", want, names)
+		}
+	}
+	finer := res.CoarsenDepth - 1
+	if names["interpolate"] != finer {
+		t.Errorf("got %d interpolate phases for depth %d, want %d", names["interpolate"], res.CoarsenDepth, finer)
+	}
+	if names["uncoarsen_refilter"] < finer {
+		t.Errorf("got %d uncoarsen_refilter phases, want ≥ %d", names["uncoarsen_refilter"], finer)
+	}
+	if res.Timings.Coarsen <= 0 || res.Timings.Refilter <= 0 {
+		t.Errorf("Timings.Coarsen = %v, Timings.Refilter = %v, want both > 0", res.Timings.Coarsen, res.Timings.Refilter)
+	}
+	if res.Timings.Verify <= 0 {
+		t.Errorf("Timings.Verify = %v, want > 0 (multilevel default verification)", res.Timings.Verify)
+	}
+}
+
 // TestNewTraceContextShared: a caller-attached trace collects the same
 // spans Run reports, so a serving layer can observe phases without
 // touching the Result.
