@@ -180,12 +180,32 @@ func pick(ops []opWeight, rng *rand.Rand) string {
 	return ops[len(ops)-1].name
 }
 
+// sampleCap bounds the latency samples kept per worker per op class.
+// Long soak runs used to grow the sample slices without bound (hours of
+// load ⇒ hundreds of MB and an eventual OOM on the generator side);
+// reservoir sampling keeps memory flat while the kept samples remain a
+// uniform draw from the full run, so the reported percentiles are
+// unbiased estimates rather than exact order statistics.
+const sampleCap = 4096
+
 // opStats accumulates one worker's results for one op class.
 type opStats struct {
 	count   int
 	errors  int
 	lastErr string
-	samples []float64 // latency, ms
+	samples []float64 // latency, ms; uniform reservoir of up to sampleCap
+}
+
+// recordSample folds one latency into the reservoir (Algorithm R, with
+// st.count as the number of successful ops seen so far).
+func (st *opStats) recordSample(ms float64, rng *rand.Rand) {
+	if len(st.samples) < sampleCap {
+		st.samples = append(st.samples, ms)
+		return
+	}
+	if j := rng.Intn(st.count); j < sampleCap {
+		st.samples[j] = ms
+	}
 }
 
 func runLoad(c *client, ops []opWeight, conc int, d time.Duration) map[string]*opStats {
@@ -215,7 +235,7 @@ func runLoad(c *client, ops []opWeight, conc int, d time.Duration) map[string]*o
 					st.lastErr = err.Error()
 				} else {
 					st.count++
-					st.samples = append(st.samples, float64(time.Since(t0))/float64(time.Millisecond))
+					st.recordSample(float64(time.Since(t0))/float64(time.Millisecond), rng)
 				}
 				n++
 			}
@@ -506,6 +526,11 @@ type OpReport struct {
 	P50Ms        float64 `json:"p50_ms"`
 	P95Ms        float64 `json:"p95_ms"`
 	P99Ms        float64 `json:"p99_ms"`
+	// Percentiles are computed from a per-worker uniform reservoir of
+	// at most SampleCap latencies, not from every op; SamplesKept is
+	// the pooled reservoir size they were read from.
+	SampleCap   int `json:"sample_cap"`
+	SamplesKept int `json:"samples_kept"`
 }
 
 func percentile(sorted []float64, q float64) float64 {
@@ -540,6 +565,8 @@ func buildReport(agg map[string]*opStats, spec string, conc int, d time.Duration
 			P50Ms:        percentile(st.samples, 0.50),
 			P95Ms:        percentile(st.samples, 0.95),
 			P99Ms:        percentile(st.samples, 0.99),
+			SampleCap:    sampleCap,
+			SamplesKept:  len(st.samples),
 		}
 	}
 	return rep

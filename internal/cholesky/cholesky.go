@@ -33,7 +33,9 @@ type Factor struct {
 	val    []float64
 	perm   []int // perm[new] = old
 	inv    []int // inv[old] = new
+	parent []int // elimination tree of the permuted matrix
 	work   []float64
+	upWork []float64 // dense scatter workspace for rank-1 updates
 }
 
 // NNZ returns the number of stored entries in L (the factor's memory
@@ -46,6 +48,7 @@ func (f *Factor) NNZ() int { return len(f.val) }
 func (f *Factor) Session() *Factor {
 	s := *f
 	s.work = nil
+	s.upWork = nil
 	return &s
 }
 
@@ -158,6 +161,7 @@ func FactorCSR(a *sparse.CSR, perm []int) (*Factor, error) {
 		val:    make([]float64, nnz),
 		perm:   append([]int(nil), perm...),
 		inv:    inv,
+		parent: parent,
 	}
 
 	// Numeric up-looking pass.
@@ -331,6 +335,8 @@ type LapSolver struct {
 	reduced []int // reduced index -> original vertex
 	rhs     []float64
 	sol     []float64
+	upIdx   []int     // ApplyEdge scratch
+	upVal   []float64 // ApplyEdge scratch
 }
 
 // NewLapSolver grounds the last vertex of g, orders with minimum degree
@@ -347,20 +353,60 @@ func NewLapSolver(g *graph.Graph) (*LapSolver, error) {
 // incremental refactorizations. The permutation is validated; a wrong
 // length or a non-permutation is an error.
 func NewLapSolverOrdered(g *graph.Graph, perm []int) (*LapSolver, error) {
-	if perm == nil {
-		return nil, errors.New("cholesky: nil permutation")
+	if err := validatePerm(perm, g.N()-1); err != nil {
+		return nil, err
 	}
-	if len(perm) != g.N()-1 {
-		return nil, fmt.Errorf("cholesky: permutation length %d, want %d", len(perm), g.N()-1)
+	return newLapSolver(g, perm)
+}
+
+func validatePerm(perm []int, want int) error {
+	if perm == nil {
+		return errors.New("cholesky: nil permutation")
+	}
+	if len(perm) != want {
+		return fmt.Errorf("cholesky: permutation length %d, want %d", len(perm), want)
 	}
 	seen := make([]bool, len(perm))
 	for _, v := range perm {
 		if v < 0 || v >= len(perm) || seen[v] {
-			return nil, errors.New("cholesky: invalid permutation")
+			return errors.New("cholesky: invalid permutation")
 		}
 		seen[v] = true
 	}
-	return newLapSolver(g, perm)
+	return nil
+}
+
+// SymbolicFactorNNZ counts the factor entries the given elimination order
+// would produce for g's reduced Laplacian — elimination tree plus ereach
+// column counts, no numeric work. The dynamic maintainer calls this to
+// test a cached order's fill before paying for (exactly one) numeric
+// factorization, instead of factoring twice when the order has gone stale.
+func SymbolicFactorNNZ(g *graph.Graph, perm []int) (int, error) {
+	n := g.N()
+	if n <= 1 {
+		return 0, nil
+	}
+	if err := validatePerm(perm, n-1); err != nil {
+		return 0, err
+	}
+	ap, err := reducedLaplacianCSR(g).Permute(perm)
+	if err != nil {
+		return 0, err
+	}
+	rows := n - 1
+	parent := etree(ap)
+	s := make([]int, rows)
+	w := make([]int, rows)
+	stack := make([]int, rows)
+	for i := range w {
+		w[i] = -1
+	}
+	nnz := 0
+	for k := 0; k < rows; k++ {
+		top := ereach(ap, k, parent, s, w, stack)
+		nnz += rows - top + 1 // path entries plus the diagonal
+	}
+	return nnz, nil
 }
 
 func newLapSolver(g *graph.Graph, perm []int) (*LapSolver, error) {
@@ -462,6 +508,8 @@ func (ls *LapSolver) Session() *LapSolver {
 		s.rhs = make([]float64, ls.n-1)
 		s.sol = make([]float64, ls.n-1)
 	}
+	s.upIdx = nil
+	s.upVal = nil
 	return &s
 }
 

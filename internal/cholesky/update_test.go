@@ -1,0 +1,326 @@
+package cholesky_test
+
+// External test package so the update property suite can reuse the graph
+// families of internal/testkit (which itself imports cholesky).
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+	"graphspar/internal/sparse"
+	"graphspar/internal/testkit"
+	"graphspar/internal/vecmath"
+)
+
+func buildSPD(entries [][3]float64, n int) *sparse.CSR {
+	b := sparse.NewBuilder(n, n)
+	for _, e := range entries {
+		b.Add(int(e[0]), int(e[1]), e[2])
+	}
+	return b.Build()
+}
+
+// relDiff returns max_i |x-y| / max(1, max_i |x|).
+func relDiff(x, y []float64) float64 {
+	var diff, scale float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > diff {
+			diff = d
+		}
+		if a := math.Abs(x[i]); a > scale {
+			scale = a
+		}
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff / scale
+}
+
+// TestFactorUpdateMatchesRefactor checks the dense Update entry point: an
+// update followed by solves must match factoring A + v·vᵀ from scratch,
+// and the matching downdate must restore the original factor.
+func TestFactorUpdateMatchesRefactor(t *testing.T) {
+	a := buildSPD([][3]float64{
+		{0, 0, 4}, {0, 1, -1}, {1, 0, -1}, {1, 1, 4}, {1, 2, -2}, {2, 1, -2}, {2, 2, 5},
+	}, 3)
+	f, err := cholesky.FactorCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{0.4, 0.2, 0} // pattern {0,1} ⊆ pattern(L(:,0))
+	if err := f.Update(v, 1); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	// A + v vᵀ factored fresh.
+	up := buildSPD([][3]float64{
+		{0, 0, 4 + 0.16}, {0, 1, -1 + 0.08}, {1, 0, -1 + 0.08},
+		{1, 1, 4 + 0.04}, {1, 2, -2}, {2, 1, -2}, {2, 2, 5},
+	}, 3)
+	fRef, err := cholesky.FactorCSR(up, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, -2, 3}
+	x, y := make([]float64, 3), make([]float64, 3)
+	f.Solve(x, b)
+	fRef.Solve(y, b)
+	if d := relDiff(x, y); d > 1e-12 {
+		t.Fatalf("updated solve differs from refactored solve by %g", d)
+	}
+	// Downdate back and compare against the original matrix.
+	if err := f.Update(v, -1); err != nil {
+		t.Fatalf("downdate: %v", err)
+	}
+	fOrig, err := cholesky.FactorCSR(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Solve(x, b)
+	fOrig.Solve(y, b)
+	if d := relDiff(x, y); d > 1e-12 {
+		t.Fatalf("downdated solve differs from original solve by %g", d)
+	}
+}
+
+func TestFactorUpdateRejectsFill(t *testing.T) {
+	g, err := gen.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,3) is no tree edge: a zero-fill path factor cannot absorb it.
+	if err := ls.ApplyEdge(0, 3, 1.0); !errors.Is(err, cholesky.ErrUpdatePattern) {
+		t.Fatalf("ApplyEdge on out-of-pattern edge: got %v, want ErrUpdatePattern", err)
+	}
+	// The factor must be untouched after the rejection.
+	fresh, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 0, -1, 2, -2}
+	x, y := make([]float64, 5), make([]float64, 5)
+	ls.Solve(x, b)
+	fresh.Solve(y, b)
+	if d := relDiff(x, y); d > 1e-14 {
+		t.Fatalf("rejected update perturbed the factor by %g", d)
+	}
+}
+
+func TestDowndateToSingularRejected(t *testing.T) {
+	g, err := gen.Path(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing (0,1) disconnects vertex 0: the reduced system goes
+	// singular and the downdate must refuse rather than emit NaNs.
+	if err := ls.ApplyEdge(0, 1, -1.0); !errors.Is(err, cholesky.ErrNotSPD) {
+		t.Fatalf("disconnecting downdate: got %v, want ErrNotSPD", err)
+	}
+}
+
+func TestApplyEdgeGroundIncident(t *testing.T) {
+	g, err := gen.Grid2D(4, 4, gen.UniformWeights, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for _, nd := range []bool{false, true} {
+		ls := newSolver(t, g, nd)
+		// Reweight an edge incident to the ground vertex n-1.
+		var gu, gv int
+		var gw float64
+		found := false
+		for _, e := range g.Edges() {
+			if e.U == n-1 || e.V == n-1 {
+				gu, gv, gw = e.U, e.V, e.W
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("no ground-incident edge")
+		}
+		if err := ls.ApplyEdge(gu, gv, 0.75*gw); err != nil {
+			t.Fatalf("ground-incident update: %v", err)
+		}
+		edges := append([]graph.Edge(nil), g.Edges()...)
+		for i := range edges {
+			if edges[i].U == gu && edges[i].V == gv {
+				edges[i].W += 0.75 * gw
+			}
+		}
+		g2, err := graph.New(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSolversMatch(t, ls, g2, 1e-10)
+	}
+}
+
+func newSolver(t *testing.T, g *graph.Graph, nd bool) *cholesky.LapSolver {
+	t.Helper()
+	var ls *cholesky.LapSolver
+	var err error
+	if nd {
+		ls, err = cholesky.NewLapSolverND(g)
+	} else {
+		ls, err = cholesky.NewLapSolver(g)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// assertSolversMatch solves a fixed right-hand side through ls and through
+// a from-scratch factorization of g and requires agreement to tol.
+func assertSolversMatch(t *testing.T, ls *cholesky.LapSolver, g *graph.Graph, tol float64) {
+	t.Helper()
+	fresh, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	b := make([]float64, n)
+	rng := vecmath.NewRNG(99)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, y := make([]float64, n), make([]float64, n)
+	ls.Solve(x, b)
+	fresh.Solve(y, b)
+	if d := relDiff(x, y); d > tol {
+		t.Fatalf("updated solver differs from from-scratch by %g (tol %g)", d, tol)
+	}
+}
+
+// TestApplyEdgeStreamMatchesFromScratch is the randomized property suite of
+// the issue: across the grid/SBM/barbell families, streams of reweights,
+// deletions and re-insertions folded into the factor via ApplyEdge must
+// keep solves within 1e-10 of a from-scratch NewLapSolver of the evolved
+// graph — for both the min-degree and the nested-dissection ordering.
+func TestApplyEdgeStreamMatchesFromScratch(t *testing.T) {
+	for _, tc := range testkit.Cases() {
+		for _, nd := range []bool{false, true} {
+			name := tc.Name + "/mindeg"
+			if nd {
+				name = tc.Name + "/nd"
+			}
+			t.Run(name, func(t *testing.T) {
+				g, err := tc.Build(42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ls := newSolver(t, g, nd)
+				rng := vecmath.NewRNG(1234)
+				// Live edge weights; 0 marks a structurally-present edge
+				// whose weight was downdated away (deleted).
+				w := make(map[[2]int]float64, g.M())
+				var keys [][2]int
+				for _, e := range g.Edges() {
+					k := [2]int{e.U, e.V}
+					w[k] = e.W
+					keys = append(keys, k)
+				}
+				orig := make(map[[2]int]float64, len(w))
+				for k, v := range w {
+					orig[k] = v
+				}
+				currentGraph := func() (*graph.Graph, error) {
+					var edges []graph.Edge
+					for _, k := range keys {
+						if w[k] > 0 {
+							edges = append(edges, graph.Edge{U: k[0], V: k[1], W: w[k]})
+						}
+					}
+					return graph.New(g.N(), edges)
+				}
+				applied := 0
+				for batch := 0; batch < 12; batch++ {
+					for op := 0; op < 8; op++ {
+						k := keys[rng.Intn(len(keys))]
+						cur := w[k]
+						var dw float64
+						if cur == 0 {
+							dw = orig[k] // re-insert a deleted edge
+						} else {
+							switch rng.Intn(4) {
+							case 0:
+								dw = -cur // delete
+							case 1:
+								dw = -0.5 * cur
+							default:
+								dw = (0.25 + rng.Float64()) * cur
+							}
+						}
+						// Keep the evolved graph connected so the
+						// from-scratch reference exists; a disconnecting
+						// delete is covered by the singular-rejection test.
+						if cur+dw <= 0 {
+							w[k] = 0
+							g2, err := currentGraph()
+							w[k] = cur
+							if err != nil {
+								continue
+							}
+							if g2.RequireConnected() != nil {
+								continue
+							}
+						}
+						if err := ls.ApplyEdge(k[0], k[1], dw); err != nil {
+							t.Fatalf("batch %d op %d ApplyEdge(%v, %g): %v", batch, op, k, dw, err)
+						}
+						w[k] = cur + dw
+						applied++
+					}
+					g2, err := currentGraph()
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSolversMatch(t, ls, g2, 1e-10)
+				}
+				if applied < 50 {
+					t.Fatalf("stream too short: only %d updates applied", applied)
+				}
+			})
+		}
+	}
+}
+
+// TestNDOrderIsPermutation sanity-checks the nested-dissection order and
+// that ND-ordered solves agree with min-degree solves.
+func TestNDOrderIsPermutation(t *testing.T) {
+	for _, tc := range testkit.Cases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			g, err := tc.Build(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm := cholesky.NDOrder(g)
+			if len(perm) != g.N()-1 {
+				t.Fatalf("NDOrder length %d, want %d", len(perm), g.N()-1)
+			}
+			seen := make([]bool, len(perm))
+			for _, v := range perm {
+				if v < 0 || v >= len(perm) || seen[v] {
+					t.Fatalf("NDOrder is not a permutation at %d", v)
+				}
+				seen[v] = true
+			}
+			nd := newSolver(t, g, true)
+			assertSolversMatch(t, nd, g, 1e-10)
+		})
+	}
+}

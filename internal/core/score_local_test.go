@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphspar/internal/cholesky"
+	"graphspar/internal/gen"
+	"graphspar/internal/graph"
+)
+
+// prune returns a connected subgraph of g with roughly every third edge
+// removed (skipping removals that would disconnect), plus the pruned graph's
+// solver — a stand-in for a sparsifier.
+func prune(t *testing.T, g *graph.Graph) (*graph.Graph, *cholesky.LapSolver) {
+	t.Helper()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	kept := edges
+	for i := len(edges) - 1; i >= 0; i -= 3 {
+		trial := append([]graph.Edge(nil), kept[:i]...)
+		trial = append(trial, kept[i+1:]...)
+		cand, err := graph.New(g.N(), trial)
+		if err != nil {
+			continue
+		}
+		if cand.RequireConnected() != nil {
+			continue
+		}
+		kept = trial
+	}
+	p, err := graph.New(g.N(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := cholesky.NewLapSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, solver
+}
+
+func cloneScorer(s *EdgeScorer) *EdgeScorer {
+	c := &EdgeScorer{T: s.T, R: s.R, Probes: make([][]float64, len(s.Probes))}
+	for i, h := range s.Probes {
+		c.Probes[i] = append([]float64(nil), h...)
+	}
+	return c
+}
+
+// With p == g the power step is the identity on zero-mean probes, and the
+// Gauss–Seidel relaxation of StepLocal has the current probes as an exact
+// fixed point: a local refresh must leave them bit-identical.
+func TestStepLocalFixedPoint(t *testing.T) {
+	g, err := gen.Grid2D(8, 8, gen.UniformWeights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := cholesky.NewLapSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewEdgeScorer(g, solver, 2, 4, 11)
+	want := cloneScorer(sc)
+	if n := sc.StepLocal(g, g, []int{27, 28}, 3, 4, 0); n <= 0 {
+		t.Fatalf("StepLocal returned %d, want a positive ball size", n)
+	}
+	for j := range sc.Probes {
+		for i := range sc.Probes[j] {
+			if d := math.Abs(sc.Probes[j][i] - want.Probes[j][i]); d > 1e-12 {
+				t.Fatalf("probe %d[%d] moved off the fixed point: %v -> %v",
+					j, i, want.Probes[j][i], sc.Probes[j][i])
+			}
+		}
+	}
+}
+
+// StepLocal's contract is a Dirichlet solve: with enough sweeps the
+// refreshed probes must satisfy L_P h′ = L_G h_old on every ball row, with
+// h′ = h_old frozen outside. (A full Step is not the reference — it deepens
+// the power iteration and rescales all heats by ~λmax, which the local
+// refresh deliberately does not do.)
+func TestStepLocalSolvesDirichletSystem(t *testing.T) {
+	g, err := gen.Grid2D(8, 8, gen.UniformWeights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, solver := prune(t, g)
+	sc := NewEdgeScorer(g, solver, 2, 6, 17)
+
+	// Reweight one edge of g.
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	target := edges[len(edges)/2]
+	for i := range edges {
+		if edges[i] == target {
+			edges[i].W *= 3
+		}
+	}
+	g2, err := graph.New(g.N(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := cloneScorer(sc)
+	const radius = 3
+	touched := []int{target.U, target.V}
+	if n := sc.StepLocal(g2, p, touched, radius, 400, 0); n <= 0 {
+		t.Fatalf("StepLocal returned %d", n)
+	}
+
+	// Recompute the ball independently: radius hops over g2 from touched.
+	inBall := map[int]bool{}
+	frontier := append([]int(nil), touched...)
+	for _, v := range frontier {
+		inBall[v] = true
+	}
+	for hop := 0; hop < radius; hop++ {
+		var next []int
+		for _, u := range frontier {
+			g2.Neighbors(u, func(v int, _ float64, _ int) bool {
+				if !inBall[v] {
+					inBall[v] = true
+					next = append(next, v)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+
+	moved := false
+	for j, h := range sc.Probes {
+		hOld := old.Probes[j]
+		rhs := map[int]float64{}
+		scale := 1.0
+		for v := range inBall {
+			// rhs from the pre-step iterate, over g2.
+			var acc float64
+			g2.Neighbors(v, func(u int, w float64, _ int) bool {
+				acc += w * (hOld[v] - hOld[u])
+				return true
+			})
+			rhs[v] = acc
+			if a := math.Abs(acc); a > scale {
+				scale = a
+			}
+		}
+		for v := range inBall {
+			// lhs from the refreshed iterate, over p.
+			var lhs float64
+			p.Neighbors(v, func(u int, w float64, _ int) bool {
+				lhs += w * (h[v] - h[u])
+				return true
+			})
+			if d := math.Abs(lhs - rhs[v]); d > 1e-6*scale {
+				t.Fatalf("probe %d: Dirichlet residual %g (scale %g) at ball vertex %d", j, d, scale, v)
+			}
+			if h[v] != hOld[v] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("perturbation did not move any ball probe value")
+	}
+}
+
+// Probes outside the ball must not move, and a ball larger than maxBall
+// must refuse without touching anything.
+func TestStepLocalLocalityAndCap(t *testing.T) {
+	g, err := gen.Grid2D(8, 8, gen.UniformWeights, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, solver := prune(t, g)
+	sc := NewEdgeScorer(g, solver, 2, 4, 23)
+	before := cloneScorer(sc)
+
+	if n := sc.StepLocal(g, p, []int{0}, 2, 3, 1); n != -1 {
+		t.Fatalf("ball over cap: got %d, want -1", n)
+	}
+	for j := range sc.Probes {
+		for i := range sc.Probes[j] {
+			if sc.Probes[j][i] != before.Probes[j][i] {
+				t.Fatalf("refused StepLocal still moved probe %d[%d]", j, i)
+			}
+		}
+	}
+
+	// Radius-1 ball around vertex 0 of the grid: only 0 and its g-neighbors
+	// may move.
+	inBall := map[int]bool{0: true}
+	g.Neighbors(0, func(v int, _ float64, _ int) bool {
+		inBall[v] = true
+		return true
+	})
+	if n := sc.StepLocal(g, p, []int{0}, 1, 3, 0); n != len(inBall) {
+		t.Fatalf("ball size: got %d, want %d", n, len(inBall))
+	}
+	for j := range sc.Probes {
+		for i := range sc.Probes[j] {
+			if !inBall[i] && sc.Probes[j][i] != before.Probes[j][i] {
+				t.Fatalf("probe %d[%d] outside the ball moved", j, i)
+			}
+		}
+	}
+}

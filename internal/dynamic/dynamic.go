@@ -100,6 +100,27 @@ type Options struct {
 	// rebuilds (nil = the engine's BFS default). Ignored unless
 	// RebuildShards > 1.
 	RebuildPartition *partition.Options
+	// FactorUpdateBudget caps how many rank-1 Cholesky update/downdates
+	// may be folded into the sparsifier factor between full numeric
+	// refactorizations. Each sparsifier edge change is a rank-1
+	// perturbation of the reduced Laplacian, applied along one elimination-
+	// tree path in O(path fill) instead of refactoring the whole matrix;
+	// the budget bounds accumulated rounding before the next exact
+	// factorization re-anchors the numerics. 0 picks the default (256);
+	// negative disables incremental factor updates entirely, so every
+	// materialization refactors as before.
+	FactorUpdateBudget int
+	// LocalRefreshRadius > 0 replaces the full O(r·m) warm power step of
+	// the deferred embedding refresh with a ball-local Dirichlet relaxation
+	// confined to the radius-hop neighborhood of the vertices touched since
+	// the last refresh (heats far from a perturbation barely move — the
+	// localized-perturbation view of GRASS). Staleness left outside the
+	// ball is charged against the drift budget so the rebuild trigger stays
+	// sound. 0 (the default) keeps the full warm step.
+	LocalRefreshRadius int
+	// LocalRefreshSweeps is the Gauss–Seidel sweep count of the ball-local
+	// refresh. Default 3.
+	LocalRefreshSweeps int
 }
 
 func (o *Options) defaults(n int) error {
@@ -127,6 +148,12 @@ func (o *Options) defaults(n int) error {
 	if o.BatchVerifyThreshold == 0 {
 		o.BatchVerifyThreshold = 64
 	}
+	if o.FactorUpdateBudget == 0 {
+		o.FactorUpdateBudget = 256
+	}
+	if o.LocalRefreshSweeps <= 0 {
+		o.LocalRefreshSweeps = 3
+	}
 	if o.Sparsify.Seed == 0 {
 		o.Sparsify.Seed = 1
 	}
@@ -144,6 +171,10 @@ type Stats struct {
 	Verifies        int     `json:"verifies"`
 	BatchedSettles  int     `json:"batched_settles"`
 	EmbedRefreshes  int     `json:"embed_refreshes"`
+	FactorUpdates   int     `json:"factor_updates"`
+	FactorDowndates int     `json:"factor_downdates"`
+	FactorRebuilds  int     `json:"factor_rebuilds"`
+	LocalSteps      int     `json:"local_steps"`
 	WarmStart       bool    `json:"warm_start"`
 	Cond            float64 `json:"condition_number"`
 	Drift           float64 `json:"drift"`
@@ -170,11 +201,21 @@ type Maintainer struct {
 	perm       []int
 	nnzAtOrder int
 
+	// updatesSinceFactor counts rank-1 updates folded into the current
+	// factor; refreshFactor refactors once it would pass FactorUpdateBudget.
+	updatesSinceFactor int
+
 	scorer *core.EdgeScorer
 	// embedStale records committed batches not yet folded into the probe
 	// vectors; freshenEmbedding runs the deferred warm power step right
 	// before the embedding is next consulted.
 	embedStale bool
+	// touched/staleChurn describe the batches deferred since the last
+	// embedding refresh: the vertices their updates perturbed (the seed set
+	// of the ball-local refresh) and their accumulated churn (the drift
+	// surcharge a local refresh pays for leaving the far field stale).
+	touched    map[int]bool
+	staleChurn float64
 	maxHeat    float64 // heat normalizer of the last full filter pass
 	theta      float64 // similarity threshold of the last full filter pass
 
@@ -191,6 +232,21 @@ type Maintainer struct {
 // fillLimit triggers a fresh elimination ordering once the reused order's
 // factor grows past this multiple of the originally ordered factor.
 const fillLimit = 4
+
+// localDriftCarry is the fraction of the deferred churn a ball-local
+// embedding refresh charges against the drift budget: the ball absorbs the
+// near-field perturbation but the far field stays stale, so local refreshes
+// must age the embedding faster than full steps (which charge nothing
+// beyond the churn itself).
+const localDriftCarry = 0.5
+
+// edgeDelta is one sparsifier weight change staged for the factor: dw is
+// the signed difference against the pre-commit weight (full weight for an
+// insertion, negated weight for a deletion).
+type edgeDelta struct {
+	u, v int
+	dw   float64
+}
 
 // New sparsifies g from scratch and returns a Maintainer tracking it.
 func New(ctx context.Context, g *graph.Graph, opt Options) (*Maintainer, error) {
@@ -248,7 +304,7 @@ func Resume(ctx context.Context, g *graph.Graph, warm *graph.Graph, opt Options)
 	}) {
 		return nil, fmt.Errorf("dynamic: warm-start reconnect failed: %w", graph.ErrDisconnected)
 	}
-	if err := m.materialize(); err != nil {
+	if err := m.materialize(nil); err != nil {
 		return nil, err
 	}
 	if err := m.adoptBackboneFromSparsifier(); err != nil {
@@ -463,6 +519,26 @@ func (m *Maintainer) Apply(ctx context.Context, batch []Update) error {
 		}
 	}
 
+	// Express the staged sparsifier edits as signed weight deltas against
+	// the pre-commit state: these are exactly the rank-1 perturbations the
+	// factor needs. Sorted so the update sequence — and with it the
+	// floating-point state of the factor — is identical run to run.
+	deltas := make([]edgeDelta, 0, len(pDel)+len(pSet))
+	for k := range pDel {
+		deltas = append(deltas, edgeDelta{k[0], k[1], -m.pW[k]})
+	}
+	for k, w := range pSet {
+		if old := m.pW[k]; w != old {
+			deltas = append(deltas, edgeDelta{k[0], k[1], w - old})
+		}
+	}
+	sort.Slice(deltas, func(a, b int) bool {
+		if deltas[a].u != deltas[b].u {
+			return deltas[a].u < deltas[b].u
+		}
+		return deltas[a].v < deltas[b].v
+	})
+
 	// Commit. From here only internal failures (factorization, Lanczos)
 	// can error, and those leave the maintainer in a state Rebuild fixes.
 	m.g = g2
@@ -479,6 +555,13 @@ func (m *Maintainer) Apply(ctx context.Context, batch []Update) error {
 		m.treeKey[k] = true
 	}
 	m.drift += churn
+	m.staleChurn += churn
+	for _, u := range batch {
+		m.touch(u.U, u.V)
+	}
+	for _, d := range deltas {
+		m.touch(d.u, d.v)
+	}
 	m.stats.Applies++
 	m.stats.Updates += len(batch)
 	m.stats.InsertsAdmitted += admitted
@@ -497,8 +580,9 @@ func (m *Maintainer) Apply(ctx context.Context, batch []Update) error {
 		}
 	}
 	if len(pDel) > 0 || len(pSet) > 0 {
-		// Re-materialize and refactor with the cached elimination order.
-		if err := m.materialize(); err != nil {
+		// Re-materialize; the factor absorbs the deltas as rank-1
+		// update/downdates when it can, refactors otherwise.
+		if err := m.materialize(deltas); err != nil {
 			return err
 		}
 	}
@@ -557,6 +641,7 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 	// Re-filter scoring consults the embedding: fold deferred batches in.
 	m.freshenEmbedding(ctx)
 	dirty := false // admissions not yet folded into the solver + certificate
+	var pending []edgeDelta
 	t, _, _, batchFraction := m.opt.Sparsify.EffectiveEmbed(m.g.N())
 	for round := 0; round < m.opt.RefilterRounds && m.cond > safety; round++ {
 		if err := ctx.Err(); err != nil {
@@ -598,6 +683,8 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 			}
 			claimed[e.U], claimed[e.V] = true, true
 			m.pW[[2]int{e.U, e.V}] = e.W
+			pending = append(pending, edgeDelta{e.U, e.V, e.W})
+			m.touch(e.U, e.V)
 			added++
 		}
 		if added == 0 {
@@ -616,6 +703,8 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 			}
 			e := m.g.Edge(best)
 			m.pW[[2]int{e.U, e.V}] = e.W
+			pending = append(pending, edgeDelta{e.U, e.V, e.W})
+			m.touch(e.U, e.V)
 		}
 		// Remember the pass's thresholds for future insert admission.
 		m.theta, m.maxHeat = theta, maxHeat
@@ -626,9 +715,10 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 			dirty = true
 			continue
 		}
-		if err := m.materialize(); err != nil {
+		if err := m.materialize(pending); err != nil {
 			return err
 		}
+		pending = pending[:0]
 		if err := m.verifyCertificate(ctx); err != nil {
 			return err
 		}
@@ -638,7 +728,7 @@ func (m *Maintainer) refilter(ctx context.Context, batched bool) error {
 		// Batched pass ended on a deferred round (candidates ran out, or
 		// the final round was skipped by the loop bound): fold the staged
 		// admissions in and verify once.
-		if err := m.materialize(); err != nil {
+		if err := m.materialize(pending); err != nil {
 			return err
 		}
 		if err := m.verifyCertificate(ctx); err != nil {
@@ -700,28 +790,82 @@ func (m *Maintainer) adoptBackboneFromSparsifier() error {
 	return nil
 }
 
-// materialize rebuilds m.p from the edge-weight map and refactors it.
-func (m *Maintainer) materialize() error {
+// materialize rebuilds m.p from the edge-weight map and brings the solver
+// in sync: deltas describing the change are folded into the factor as
+// rank-1 update/downdates when possible, with a full refactorization as
+// the fallback. Passing nil deltas (unknown change) always refactors.
+func (m *Maintainer) materialize(deltas []edgeDelta) error {
 	p, err := edgesFromMap(m.g.N(), m.pW)
 	if err != nil {
 		return err
 	}
 	m.p = p
-	return m.refactor()
+	return m.refreshFactor(deltas)
 }
 
-// refactor factors the current sparsifier, reusing the cached elimination
-// order when it is still valid and fill has not crept past fillLimit; a
-// fresh minimum-degree pass otherwise (whose order is then cached).
-func (m *Maintainer) refactor() error {
-	if m.perm != nil && len(m.perm) == m.p.N()-1 {
-		solver, err := cholesky.NewLapSolverOrdered(m.p, m.perm)
-		if err == nil && (m.nnzAtOrder == 0 || solver.FactorNNZ() <= fillLimit*m.nnzAtOrder) {
-			m.solver = solver
-			return nil
+// refreshFactor folds the staged sparsifier deltas into the existing
+// factor via O(path fill) rank-1 update/downdates. It falls back to a full
+// refactorization when incremental updates are disabled or budget-
+// exhausted, when an inserted edge's endpoints fall outside the factor
+// pattern (fill would be needed), or when a downdate turns numerically
+// singular — in every fallback the factor is rebuilt from m.p, so a
+// partially applied delta list is harmless.
+func (m *Maintainer) refreshFactor(deltas []edgeDelta) error {
+	if m.solver == nil || m.opt.FactorUpdateBudget < 0 || deltas == nil {
+		return m.refactor()
+	}
+	if len(deltas) == 0 {
+		return nil // weights identical; the factor already matches
+	}
+	if m.updatesSinceFactor+len(deltas) > m.opt.FactorUpdateBudget {
+		return m.refactor()
+	}
+	for _, d := range deltas {
+		if err := m.solver.ApplyEdge(d.u, d.v, d.dw); err != nil {
+			return m.refactor()
+		}
+		m.updatesSinceFactor++
+		if d.dw > 0 {
+			m.stats.FactorUpdates++
+		} else {
+			m.stats.FactorDowndates++
 		}
 	}
-	solver, err := cholesky.NewLapSolver(m.p)
+	return nil
+}
+
+// refactor numerically factors the current sparsifier exactly once: the
+// cached elimination order is first checked symbolically (etree column
+// counts only), so a stale order whose fill crept past fillLimit costs one
+// numeric factorization under a fresh order — not the old
+// factor-then-discard-then-refactor double pass. Fresh orders are picked
+// by sparsifier shape: near-tree sparsifiers get centroid nested
+// dissection, whose O(log n)-height elimination trees keep ApplyEdge's
+// update walks short; denser ones get minimum degree — with many off-tree
+// edges the ND fill (and with it both factorization and update-path cost)
+// explodes, while min-degree stays near-optimal and its deeper etree
+// paths remain cheap because the columns stay short.
+func (m *Maintainer) refactor() error {
+	m.updatesSinceFactor = 0
+	m.stats.FactorRebuilds++
+	if m.perm != nil && len(m.perm) == m.p.N()-1 && m.nnzAtOrder > 0 {
+		if nnz, err := cholesky.SymbolicFactorNNZ(m.p, m.perm); err == nil && nnz <= fillLimit*m.nnzAtOrder {
+			solver, err := cholesky.NewLapSolverOrdered(m.p, m.perm)
+			if err == nil {
+				m.solver = solver
+				return nil
+			}
+		}
+	}
+	var (
+		solver *cholesky.LapSolver
+		err    error
+	)
+	if offTree := m.p.M() - (m.p.N() - 1); offTree*32 <= m.p.N() {
+		solver, err = cholesky.NewLapSolverND(m.p)
+	} else {
+		solver, err = cholesky.NewLapSolver(m.p)
+	}
 	if err != nil {
 		return fmt.Errorf("dynamic: sparsifier factorization: %w", err)
 	}
@@ -729,6 +873,15 @@ func (m *Maintainer) refactor() error {
 	m.perm = solver.Ordering()
 	m.nnzAtOrder = solver.FactorNNZ()
 	return nil
+}
+
+// touch records batch-perturbed vertices for the next ball-local refresh.
+func (m *Maintainer) touch(u, v int) {
+	if m.touched == nil {
+		m.touched = make(map[int]bool)
+	}
+	m.touched[u] = true
+	m.touched[v] = true
 }
 
 // refreshScorerAndCertificate rebuilds the probe embedding (fresh) or
@@ -748,6 +901,8 @@ func (m *Maintainer) refreshScorerAndCertificate(ctx context.Context, fresh bool
 	if fresh || m.scorer == nil {
 		m.scorer = core.NewEdgeScorer(m.g, m.solver, t, r, core.DeriveSeed(m.opt.Sparsify.Seed, int(m.rng.Uint64()%1024)))
 		m.embedStale = false
+		m.staleChurn = 0
+		clear(m.touched)
 	} else {
 		m.embedStale = true
 	}
@@ -760,13 +915,38 @@ func (m *Maintainer) refreshScorerAndCertificate(ctx context.Context, fresh bool
 // the embedding is consulted (insert admission, re-filter scoring); the
 // drift budget separately bounds how much deferred churn the embedding
 // may absorb before a rebuild.
+// With LocalRefreshRadius set, the refresh is attempted as a ball-local
+// Dirichlet relaxation seeded at the touched vertices; the far field stays
+// stale, so localDriftCarry of the deferred churn is charged to the drift
+// budget. A ball past n/4 vertices (locality buys nothing) falls back to
+// the full warm step.
 func (m *Maintainer) freshenEmbedding(ctx context.Context) {
 	if !m.embedStale || m.scorer == nil {
 		return
 	}
 	defer obs.StartSpan(ctx, "embed").End()
+	if m.opt.LocalRefreshRadius > 0 && len(m.touched) > 0 {
+		touched := make([]int, 0, len(m.touched))
+		for v := range m.touched {
+			touched = append(touched, v)
+		}
+		sort.Ints(touched) // deterministic ball construction
+		maxBall := m.g.N() / 4
+		if n := m.scorer.StepLocal(m.g, m.p, touched, m.opt.LocalRefreshRadius, m.opt.LocalRefreshSweeps, maxBall); n >= 0 {
+			m.drift += localDriftCarry * m.staleChurn
+			m.stats.LocalSteps++
+			m.finishRefresh()
+			return
+		}
+	}
 	m.scorer.Step(m.g, m.solver)
+	m.finishRefresh()
+}
+
+func (m *Maintainer) finishRefresh() {
 	m.embedStale = false
+	m.staleChurn = 0
+	clear(m.touched)
 	m.stats.EmbedRefreshes++
 }
 

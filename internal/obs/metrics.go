@@ -245,10 +245,18 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Overflow returns how many observations exceeded the last finite bucket
+// bound. A nonzero overflow means upper quantiles may report +Inf — the
+// bucket layout is too coarse for the tail being measured.
+func (h *Histogram) Overflow() int64 { return h.inf.Load() }
+
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
 // within the bucket where the cumulative count crosses q·total. The
-// error is bounded by the width of that bucket; observations beyond the
-// last finite bound clamp to it. Returns NaN with no observations.
+// error is bounded by the width of that bucket. A rank that falls in the
+// +Inf overflow bucket returns +Inf: the histogram genuinely does not
+// know how large those observations were, and clamping to the last
+// finite bound would silently under-report exactly the tail latencies
+// the upper quantiles exist to expose. Returns NaN with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
 	if total == 0 {
@@ -269,7 +277,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += c
 		lower = ub
 	}
-	return lower // rank falls in the +Inf bucket: clamp to the last bound
+	return math.Inf(1) // rank falls in the +Inf overflow bucket
 }
 
 // Histogram returns the named unlabeled histogram, creating it with the

@@ -148,8 +148,32 @@ func TestHistogramQuantileEdges(t *testing.T) {
 		t.Error("empty histogram Quantile should be NaN")
 	}
 	h.Observe(5) // lands in +Inf bucket
-	if got := h.Quantile(0.5); got != 2 {
-		t.Errorf("overflow-only Quantile = %g, want clamp to last bound 2", got)
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("overflow-only Quantile = %g, want +Inf (the histogram cannot bound the tail)", got)
+	}
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow = %d, want 1", got)
+	}
+}
+
+// TestHistogramQuantileOverflowTail pins the tail-latency bug: with 9 in-
+// range samples and 1 overflow, p50 must interpolate normally but p99 —
+// whose rank lands in the +Inf bucket — must report +Inf rather than
+// silently clamping to the last finite bound and under-reporting the tail.
+func TestHistogramQuantileOverflowTail(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 9; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(100)
+	if got := h.Quantile(0.5); math.IsInf(got, 1) || got > 1 {
+		t.Errorf("p50 = %g, want a finite value within the first bucket", got)
+	}
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Errorf("p99 = %g, want +Inf (rank 9.9 falls in the overflow bucket)", got)
+	}
+	if got := h.Overflow(); got != 1 {
+		t.Errorf("Overflow = %d, want 1", got)
 	}
 }
 

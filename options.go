@@ -132,6 +132,10 @@ type config struct {
 
 	refilterRounds int
 	driftFraction  float64
+
+	localRefreshRadius int
+	factorBudget       int
+	factorBudgetSet    bool
 }
 
 func defaultConfig() config {
@@ -266,9 +270,17 @@ func (c *config) multilevelOptions() multilevel.Options {
 // engine exactly when a Run on the same graph would.
 func (c *config) dynamicOptions(shards int) dynamic.Options {
 	opt := dynamic.Options{
-		Sparsify:       c.coreOptions(),
-		RefilterRounds: c.refilterRounds,
-		DriftFraction:  c.driftFraction,
+		Sparsify:           c.coreOptions(),
+		RefilterRounds:     c.refilterRounds,
+		DriftFraction:      c.driftFraction,
+		LocalRefreshRadius: c.localRefreshRadius,
+	}
+	if c.factorBudgetSet {
+		if c.factorBudget == 0 {
+			opt.FactorUpdateBudget = -1 // facade 0 = off; dynamic 0 = default
+		} else {
+			opt.FactorUpdateBudget = c.factorBudget
+		}
 	}
 	if c.verifySteps > 0 {
 		opt.VerifySteps = c.verifySteps
@@ -501,6 +513,40 @@ func WithRefilterRounds(n int) Option {
 func WithDriftFraction(f float64) Option {
 	return func(c *config) error {
 		c.driftFraction = f
+		return nil
+	}
+}
+
+// WithLocalRefresh makes a Stream refresh its edge-scoring embedding with
+// a ball-local relaxation of the given hop radius around the vertices the
+// batch touched, instead of a whole-graph warm power step. Per-batch
+// embedding cost becomes proportional to the ball volume rather than the
+// graph size; the far field stays stale, and half the deferred churn is
+// charged against the drift budget so staleness still forces rebuilds.
+// radius <= 0 keeps the default full-step refresh.
+func WithLocalRefresh(radius int) Option {
+	return func(c *config) error {
+		if radius < 0 {
+			radius = 0
+		}
+		c.localRefreshRadius = radius
+		return nil
+	}
+}
+
+// WithFactorUpdateBudget caps how many rank-1 Cholesky update/downdates a
+// Stream folds into its sparsifier factor between full refactorizations
+// (default 256). Each sparsifier edge delta costs one rank-1 pass along
+// the factor's elimination-tree path instead of a full refactorization;
+// the budget bounds the numerical error such passes can accumulate.
+// n == 0 disables incremental updates entirely (every batch refactors).
+func WithFactorUpdateBudget(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: factor update budget %d is negative", params.ErrInvalid, n)
+		}
+		c.factorBudget = n
+		c.factorBudgetSet = true
 		return nil
 	}
 }
