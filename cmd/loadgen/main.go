@@ -14,7 +14,9 @@
 // PATCH and stream ops send reweights of edges the generator spec is
 // known to contain: loadgen regenerates the same graph locally from
 // -graph/-seed, so every mutation is valid by construction and the
-// registered graph stays connected for the whole run.
+// registered graph stays connected for the whole run. The same -seed
+// also derives every worker's op-mix RNG, so a run is reproducible from
+// its flags alone; the report echoes the seed.
 //
 // Usage:
 //
@@ -116,8 +118,8 @@ func main() {
 	log.Printf("driving %s: graph=%s (|V|=%d |E|=%d) c=%d duration=%s mix=%s",
 		c.base, *spec, local.N(), local.M(), *conc, *duration, *mix)
 
-	agg := runLoad(c, ops, *conc, *duration)
-	report := buildReport(agg, *spec, *conc, *duration)
+	agg := runLoad(c, ops, *conc, *duration, *seed)
+	report := buildReport(agg, *spec, *conc, *duration, *seed)
 	printReport(report)
 	if *out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -208,7 +210,7 @@ func (st *opStats) recordSample(ms float64, rng *rand.Rand) {
 	}
 }
 
-func runLoad(c *client, ops []opWeight, conc int, d time.Duration) map[string]*opStats {
+func runLoad(c *client, ops []opWeight, conc int, d time.Duration, seed uint64) map[string]*opStats {
 	deadline := time.Now().Add(d)
 	perWorker := make([]map[string]*opStats, conc)
 	var wg sync.WaitGroup
@@ -218,7 +220,10 @@ func runLoad(c *client, ops []opWeight, conc int, d time.Duration) map[string]*o
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(id) + 0x5eed))
+			// Each worker gets its own stream derived from -seed, so two
+			// runs with the same flags draw the same op sequences and
+			// mutate the same edges; the seed is echoed in the report.
+			rng := rand.New(rand.NewSource(int64(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)))
 			n := 0
 			for time.Now().Before(deadline) {
 				name := pick(ops, rng)
@@ -513,6 +518,7 @@ func bootServer(workers int) (base string, shutdown func(), err error) {
 type Report struct {
 	Bench       string              `json:"bench"`
 	Graph       string              `json:"graph"`
+	Seed        uint64              `json:"seed"`
 	Concurrency int                 `json:"concurrency"`
 	DurationS   float64             `json:"duration_s"`
 	Ops         map[string]OpReport `json:"ops"`
@@ -547,10 +553,11 @@ func percentile(sorted []float64, q float64) float64 {
 	return sorted[idx]
 }
 
-func buildReport(agg map[string]*opStats, spec string, conc int, d time.Duration) Report {
+func buildReport(agg map[string]*opStats, spec string, conc int, d time.Duration, seed uint64) Report {
 	rep := Report{
 		Bench:       "serve_loadgen",
 		Graph:       spec,
+		Seed:        seed,
 		Concurrency: conc,
 		DurationS:   d.Seconds(),
 		Ops:         map[string]OpReport{},

@@ -1,0 +1,138 @@
+// Package ctxloop implements the ctxloop analyzer: inside graphspar's
+// deterministic pipeline packages, any function that accepts a
+// context.Context has signed the core.SparsifyCtx contract — long
+// computations must be cancellable. The analyzer flags unbounded loops
+// (`for {}` and while-style `for cond {}`) in such functions whose
+// bodies never consult the context: no ctx.Err()/ctx.Done(), and ctx
+// never handed to a callee that could.
+//
+// Counted for-loops and range loops are exempt (they are bounded by
+// construction), as is any loop that mentions the ctx parameter
+// anywhere in its body. A genuine tight loop that terminates quickly
+// can be annotated `//graphspar:ctxfree-ok <reason>`.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphspar/internal/analysis"
+	"graphspar/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc:  "flag unbounded loops in ctx-accepting pipeline functions that never consult the context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ann := lintutil.NewAnnotations(pass)
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lintutil.WalkStack(f, func(stack []ast.Node) bool {
+			loop, ok := stack[len(stack)-1].(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			// Counted loops (init; cond; post) are bounded by
+			// construction; only `for {}` and `for cond {}` can spin.
+			if loop.Cond != nil && (loop.Init != nil || loop.Post != nil) {
+				return true
+			}
+			ctxs := enclosingCtxParams(pass.TypesInfo, stack)
+			if len(ctxs) == 0 {
+				return true
+			}
+			if consultsCtx(pass.TypesInfo, loop.Body, ctxs) || (loop.Cond != nil && consultsCtxExpr(pass.TypesInfo, loop.Cond, ctxs)) {
+				return true
+			}
+			if ann.Allows(pass, loop, "ctxfree") {
+				return true
+			}
+			pass.Reportf(loop.Pos(), "unbounded loop in a ctx-accepting pipeline function never consults the context; check ctx.Err() per iteration (core.SparsifyCtx contract) or annotate //graphspar:ctxfree-ok <reason>")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// enclosingCtxParams returns the context.Context parameter objects of
+// the innermost enclosing function that declares any. Only the
+// innermost function matters: a funclit without a ctx param inside a
+// ctx-accepting function runs on whatever schedule its caller gives it.
+func enclosingCtxParams(info *types.Info, stack []ast.Node) []types.Object {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		var ctxs []types.Object
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+						ctxs = append(ctxs, obj)
+					}
+				}
+			}
+		}
+		// Innermost function wins, whether or not it has ctx params:
+		// a plain closure does not inherit its parent's contract.
+		return ctxs
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && lintutil.PkgPath(obj) == "context"
+}
+
+func consultsCtx(info *types.Info, body *ast.BlockStmt, ctxs []types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isAny(info.Uses[id], ctxs) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func consultsCtxExpr(info *types.Info, e ast.Expr, ctxs []types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && isAny(info.Uses[id], ctxs) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isAny(obj types.Object, set []types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for _, o := range set {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}

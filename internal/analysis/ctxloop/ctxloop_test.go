@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"graphspar/internal/analysis/analysistest"
+	"graphspar/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "engine")
+}
+
+func TestCtxloopIgnoresNonPipelinePackages(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "svc")
+}

@@ -1,0 +1,77 @@
+package engine
+
+import "context"
+
+// While-style loop that never looks at ctx: flagged.
+func badWhile(ctx context.Context, work func() bool) {
+	for work() { // want `never consults the context`
+	}
+}
+
+// Infinite loop without a ctx check: flagged.
+func badInfinite(ctx context.Context, ch chan int) int {
+	for { // want `never consults the context`
+		select {
+		case v := <-ch:
+			return v
+		}
+	}
+}
+
+// Checking ctx.Err in the body satisfies the contract.
+func goodErrCheck(ctx context.Context, work func() bool) {
+	for work() {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Selecting on ctx.Done satisfies the contract.
+func goodDoneSelect(ctx context.Context, ch chan int) int {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		case <-ctx.Done():
+			return 0
+		}
+	}
+}
+
+// Handing ctx to the loop's callee delegates the check.
+func goodPassesCtx(ctx context.Context, step func(context.Context) bool) {
+	for step(ctx) {
+	}
+}
+
+// Counted loops are bounded by construction.
+func goodCounted(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// Functions without a ctx parameter did not sign the contract.
+func goodNoCtx(work func() bool) {
+	for work() {
+	}
+}
+
+// A closure without its own ctx parameter is scheduled by its caller,
+// not by this function's context.
+func goodClosureNoCtx(ctx context.Context) func(func() bool) {
+	return func(work func() bool) {
+		for work() {
+		}
+	}
+}
+
+// Annotated escape hatch for provably short loops.
+func goodAnnotated(ctx context.Context, work func() bool) {
+	//graphspar:ctxfree-ok bisection over 64-bit range, <= 64 iterations
+	for work() {
+	}
+}

@@ -1,0 +1,10 @@
+// Package svc is outside the deterministic pipeline set; ctxloop does
+// not apply.
+package svc
+
+import "context"
+
+func Spin(ctx context.Context, work func() bool) {
+	for work() {
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+// The escape hatch: an annotation with a reason suppresses the
+// diagnostic on the annotated statement only.
+func goodAnnotatedAbove(m map[string]int, emit func(string)) {
+	//graphspar:nondeterministic-ok emission order is user-visible noise only
+	for k := range m {
+		emit(k)
+	}
+}
+
+func goodAnnotatedSameLine(m map[string]int, emit func(string)) {
+	for k := range m { //graphspar:nondeterministic-ok emission order is user-visible noise only
+		emit(k)
+	}
+}
+
+// The annotation covers exactly one statement: the next map range in
+// the same function is still flagged.
+func badSecondLoopNotCovered(m map[string]int, emit func(string)) {
+	//graphspar:nondeterministic-ok covers only the loop below
+	for k := range m {
+		emit(k)
+	}
+	for k := range m { // want `range over map iterates in random order`
+		emit(k)
+	}
+}
+
+// A bare annotation (no reason) is itself a diagnostic.
+func badBareAnnotation(m map[string]int, emit func(string)) {
+	//graphspar:nondeterministic-ok
+	for k := range m { // want `bare //graphspar:nondeterministic-ok annotation: a reason is required`
+		emit(k)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import "sort"
+
+// Float accumulation over map order is not associative: flagged.
+func badFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map iterates in random order`
+		sum += v
+	}
+	return sum
+}
+
+// Collect-and-sort is the sanctioned idiom.
+func goodCollectSort(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Collecting without a subsequent sort leaks map order into the slice.
+func badCollectNoSort(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want `range over map iterates in random order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sort.Slice with the collected slice nested in a closure also counts.
+func goodCollectSortSlice(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Draining the ranged map itself is order-free.
+func goodDrain(m map[int]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// delete on a different map is not a drain.
+func badDeleteOther(m, other map[int]bool) {
+	for k := range m { // want `range over map iterates in random order`
+		delete(other, k+1)
+	}
+}
+
+// Deleting exactly the range key from another map removes a distinct
+// entry per iteration: order-free.
+func goodKeyedDelete(m map[int]bool, other map[int]float64) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// A define-only if-init wrapping a collect is still a collect.
+func goodIfInitCollect(m, base map[int]float64) []int {
+	changed := make([]int, 0, len(m))
+	for k, v := range m {
+		if old := base[k]; v != old {
+			changed = append(changed, k)
+		}
+	}
+	sort.Ints(changed)
+	return changed
+}
+
+// An if-init that assigns to an outer variable carries state across
+// iterations: flagged.
+func badIfInitAssign(m map[int]float64) float64 {
+	var last float64
+	for _, v := range m { // want `range over map iterates in random order`
+		if last = v; last > 0 {
+			continue
+		}
+	}
+	return last
+}
+
+// Writes keyed by the range key touch distinct entries: order-free.
+func goodKeyedWrite(src, dst map[int]float64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Writes keyed by a derived expression can collide: flagged.
+func badDerivedKeyWrite(src, dst map[int]float64) {
+	for k, v := range src { // want `range over map iterates in random order`
+		dst[k/2] = v
+	}
+}
+
+// Integer accumulation is commutative and associative.
+func goodIntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+		if v > 10 {
+			n++
+		}
+	}
+	return n
+}
+
+// Calling out of the loop body is order-sensitive in general.
+func badCall(m map[string]int, emit func(string)) {
+	for k := range m { // want `range over map iterates in random order`
+		emit(k)
+	}
+}
+
+// Slices are not maps; never flagged.
+func goodSliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+// Package svc is outside the deterministic pipeline set: map iteration
+// is unconstrained here and nothing in this file is flagged.
+package svc
+
+func All(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k)
+	}
+}

@@ -1,0 +1,137 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"graphspar/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for
+// `go vet -vettool` invocations (x/tools unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker executes one vet unit as described by cfgPath and
+// exits: 0 on success, 2 when diagnostics were reported.
+func runUnitchecker(cfgPath string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgPath, err)
+	}
+
+	// The go command caches a "vetx" facts file per package and feeds
+	// it to dependents. Graphspar's analyzers are all single-package
+	// (no facts), so the file is written empty — but it must exist for
+	// the cache entry to be recorded.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				os.Exit(0)
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path has already been resolved through ImportMap.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			os.Exit(0)
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	exit := 0
+	for _, a := range analyzers {
+		diags, err := unit.Run(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(cfg.Dir, file); err == nil && !filepath.IsAbs(rel) && rel[0] != '.' {
+				file = rel
+			}
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, a.Name)
+			exit = 2
+		}
+	}
+	writeVetx()
+	os.Exit(exit)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,163 @@
+// Package errwrapcheck implements the errwrapcheck analyzer, guarding
+// the params.ErrInvalid-family sentinel convention:
+//
+//  1. fmt.Errorf calls that interpolate a sentinel error (a
+//     package-level `var ErrXxx = ...` of type error) must use the %w
+//     verb for it, so errors.Is keeps matching through the wrap;
+//  2. wrapped sentinels must never be compared with == or != (or a
+//     switch case), because wrapping breaks identity — errors.Is /
+//     errors.As are required.
+//
+// Comparisons against nil are of course fine, as is identity
+// comparison of two non-sentinel error variables.
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"graphspar/internal/analysis"
+	"graphspar/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "require %w when wrapping ErrXxx sentinels and errors.Is instead of == against them",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					sentinel, other := pair[0], pair[1]
+					if lintutil.SentinelError(info, sentinel) && !isNil(info, other) {
+						pass.Reportf(n.Pos(), "%s comparison against sentinel %s breaks once the error is wrapped; use errors.Is", n.Op, exprName(sentinel))
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !lintutil.IsErrorType(info.Types[n.Tag].Type) {
+					return true
+				}
+				for _, cc := range n.Body.List {
+					clause, ok := cc.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range clause.List {
+						if lintutil.SentinelError(info, e) {
+							pass.Reportf(e.Pos(), "switch case matches sentinel %s by identity, which breaks once the error is wrapped; use errors.Is in if/else chains", exprName(e))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorf verifies that sentinel arguments of fmt.Errorf are
+// formatted with %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := lintutil.FuncFor(info, call)
+	if fn == nil || fn.Name() != "Errorf" || lintutil.PkgPath(fn) != "fmt" || len(call.Args) < 2 {
+		return
+	}
+	tv := info.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := verbForArg(format)
+	for i, arg := range call.Args[1:] {
+		if !lintutil.SentinelError(info, arg) {
+			continue
+		}
+		if ok {
+			if v, have := verbs[i]; have && v != 'w' {
+				pass.Reportf(arg.Pos(), "sentinel %s formatted with %%%c loses its identity; wrap with %%w so errors.Is still matches", exprName(arg), v)
+			}
+		} else if !strings.Contains(format, "%w") {
+			// Unparseable format (explicit indexes): fall back to a
+			// whole-string check.
+			pass.Reportf(arg.Pos(), "sentinel %s passed to fmt.Errorf without a %%w verb; wrap with %%w so errors.Is still matches", exprName(arg))
+		}
+	}
+}
+
+// verbForArg maps variadic argument index to its format verb. ok is
+// false when the format uses explicit argument indexes (%[1]d), which
+// this simple scanner does not model.
+func verbForArg(format string) (map[int]rune, bool) {
+	verbs := map[int]rune{}
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision; '*' consumes an argument.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0.123456789", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs[arg] = rune(format[i])
+			arg++
+		}
+	}
+	return verbs, true
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+func exprName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return "error"
+}

@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"graphspar/internal/analysis/analysistest"
+	"graphspar/internal/analysis/errwrapcheck"
+)
+
+func TestErrwrapcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrapcheck.Analyzer, "wrap")
+}

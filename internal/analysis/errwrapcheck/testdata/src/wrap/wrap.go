@@ -1,0 +1,63 @@
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinels in the params.ErrInvalid style.
+var (
+	ErrInvalid  = errors.New("invalid parameters")
+	ErrBadSigma = fmt.Errorf("%w: bad sigma", ErrInvalid)
+
+	// notSentinel does not follow the ErrXxx convention and is exempt.
+	notSentinel = errors.New("incidental")
+)
+
+// Interpolating a sentinel with %v strips its identity.
+func badWrapV(x int) error {
+	return fmt.Errorf("bad value %d: %v", x, ErrInvalid) // want `sentinel ErrInvalid formatted with %v loses its identity`
+}
+
+func badWrapS(x int) error {
+	return fmt.Errorf("bad value %d: %s", x, ErrBadSigma) // want `sentinel ErrBadSigma formatted with %s loses its identity`
+}
+
+// %w keeps errors.Is working through the wrap.
+func goodWrapW(x int) error {
+	return fmt.Errorf("bad value %d: %w", x, ErrInvalid)
+}
+
+// Mixed verbs: only the sentinel's verb matters.
+func goodMixed(x int, err error) error {
+	return fmt.Errorf("op %d failed (%v): %w", x, err, ErrInvalid)
+}
+
+// Identity comparison breaks once the sentinel is wrapped.
+func badEq(err error) bool {
+	return err == ErrInvalid // want `== comparison against sentinel ErrInvalid breaks once the error is wrapped`
+}
+
+func badNeq(err error) bool {
+	return err != ErrBadSigma // want `!= comparison against sentinel ErrBadSigma breaks once the error is wrapped`
+}
+
+// Switch-on-error with sentinel cases is identity comparison too.
+func badSwitch(err error) string {
+	switch err {
+	case ErrInvalid: // want `switch case matches sentinel ErrInvalid by identity`
+		return "invalid"
+	default:
+		return "other"
+	}
+}
+
+// errors.Is is the sanctioned comparison.
+func goodIs(err error) bool {
+	return errors.Is(err, ErrInvalid)
+}
+
+// nil comparisons and non-sentinel identity checks are untouched.
+func goodNil(err error) bool { return err != nil }
+
+func goodNonSentinel(err error) bool { return err == notSentinel }

@@ -1,0 +1,257 @@
+// Package metriclabel implements the metriclabel analyzer: every label
+// value handed to an obs `*Vec.With(...)` call must come from a
+// provably finite set, or the Prometheus time-series cardinality
+// explodes under real traffic.
+//
+// A label value argument is accepted when it is:
+//
+//   - a string constant (literal, const, or constant-foldable expr);
+//   - a conversion from a named string type (closed enums like
+//     service.Status — `string(status)`);
+//   - a call returning a named string type;
+//   - a call to a same-package function whose doc comment carries the
+//     `//graphspar:bounded <reason>` directive, asserting its result
+//     set is finite (e.g. an HTTP-status canonicalizer);
+//   - a local variable bound exactly once (`:=`, never reassigned or
+//     address-taken) to a value that is itself bounded;
+//   - covered by a `//graphspar:cardinality-ok <reason>` annotation on
+//     the call line or the line above.
+//
+// Everything else — plain string variables, fmt.Sprint results,
+// err.Error(), request paths, graph names — is flagged.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"graphspar/internal/analysis"
+	"graphspar/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc:  "flag obs metric label values built from unbounded inputs (cardinality explosion)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	ann := lintutil.NewAnnotations(pass)
+	bounded := boundedFuncs(pass)
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		binds := localBindings(info, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isObsWith(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if boundedValue(pass, bounded, binds, arg) {
+					continue
+				}
+				if ann.Allows(pass, call, "cardinality") {
+					break
+				}
+				pass.Reportf(arg.Pos(), "metric label value %s is not provably bounded; Prometheus label sets must be finite — use a constant, a named string enum, or a //graphspar:bounded helper (or annotate //graphspar:cardinality-ok <reason>)", describe(arg))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isObsWith reports whether call is a With(...) method call on a label
+// vector defined in the obs package.
+func isObsWith(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.FuncFor(info, call)
+	if fn == nil || fn.Name() != "With" || fn.Signature().Recv() == nil {
+		return false
+	}
+	return lintutil.IsPkg(lintutil.PkgPath(fn), "obs") ||
+		lintutil.IsPkg(lintutil.PkgPath(fn), "internal/obs")
+}
+
+// boundedFuncs collects the objects of functions in this package whose
+// doc comment carries //graphspar:bounded.
+func boundedFuncs(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//graphspar:bounded") {
+					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+						out[obj] = true
+					}
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// binding records how a local variable was introduced: its single `:=`
+// initializer, and whether any later write or address-taking makes that
+// initializer unreliable.
+type binding struct {
+	rhs     ast.Expr
+	tainted bool
+}
+
+// localBindings maps each once-bound local in f to its initializer, so
+// `route := routeLabel(r)` stays bounded when `route` is used twice.
+func localBindings(info *types.Info, f *ast.File) map[types.Object]*binding {
+	out := map[types.Object]*binding{}
+	taint := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if b := out[obj]; b != nil {
+			b.tainted = true
+		} else {
+			out[obj] = &binding{tainted: true}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						// Redeclaration in a multi-assign `:=`.
+						taint(id)
+						continue
+					}
+					out[obj] = &binding{rhs: n.Rhs[i]}
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					taint(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			taint(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				taint(n.X)
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				taint(n.Key)
+				taint(n.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func boundedValue(pass *analysis.Pass, boundedFns map[types.Object]bool, binds map[types.Object]*binding, e ast.Expr) bool {
+	info := pass.TypesInfo
+	e = ast.Unparen(e)
+	tv := info.Types[e]
+	// Constants of any kind are finite by definition.
+	if tv.Value != nil && tv.Value.Kind() == constant.String {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		b := binds[info.Uses[id]]
+		return b != nil && !b.tainted && b.rhs != nil &&
+			boundedValue(pass, boundedFns, binds, b.rhs)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if tv.IsType() || isTypeExpr(info, call.Fun) {
+		// Conversion: bounded iff the operand's type is a named string
+		// type (a closed enum), regardless of the direction —
+		// string(status) and Status(s) alike.
+		if len(call.Args) == 1 {
+			return isNamedStringType(info.Types[call.Args[0]].Type) ||
+				boundedValue(pass, boundedFns, binds, call.Args[0])
+		}
+		return false
+	}
+	fn := lintutil.FuncFor(info, call)
+	if fn == nil {
+		return false
+	}
+	if boundedFns[fn] {
+		return true
+	}
+	// A call returning a named string type follows the closed-enum
+	// convention.
+	sig := fn.Signature()
+	if sig.Results().Len() == 1 && isNamedStringType(sig.Results().At(0).Type()) {
+		return true
+	}
+	return false
+}
+
+func isTypeExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := info.Uses[x].(*types.TypeName)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := info.Uses[x.Sel].(*types.TypeName)
+		return ok
+	case *ast.ArrayType, *ast.MapType, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// isNamedStringType reports whether t is a defined (non-builtin) type
+// whose underlying type is string.
+func isNamedStringType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+func describe(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return "'" + x.Name + "'"
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			return "'" + fun.Name + "(...)'"
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok {
+				return "'" + id.Name + "." + fun.Sel.Name + "(...)'"
+			}
+			return "'" + fun.Sel.Name + "(...)'"
+		}
+	}
+	return "expression"
+}

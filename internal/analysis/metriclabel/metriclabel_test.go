@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"graphspar/internal/analysis/analysistest"
+	"graphspar/internal/analysis/metriclabel"
+)
+
+func TestMetriclabel(t *testing.T) {
+	analysistest.Run(t, "testdata", metriclabel.Analyzer, "svc")
+}

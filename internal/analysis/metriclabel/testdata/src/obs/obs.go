@@ -1,0 +1,19 @@
+// Package obs is a stub of graphspar/internal/obs exposing the label
+// vector surface the metriclabel analyzer targets.
+package obs
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type CounterVec struct{}
+
+func (*CounterVec) With(labelValues ...string) *Counter { return &Counter{} }
+
+type Histogram struct{}
+
+func (*Histogram) Observe(v float64) {}
+
+type HistogramVec struct{}
+
+func (*HistogramVec) With(labelValues ...string) *Histogram { return &Histogram{} }

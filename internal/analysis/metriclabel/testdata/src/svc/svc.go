@@ -1,0 +1,60 @@
+package svc
+
+import (
+	"fmt"
+	"strconv"
+
+	"obs"
+)
+
+// Status is a closed enum: conversions from it are bounded.
+type Status string
+
+const StatusDone Status = "done"
+
+var (
+	counters = &obs.CounterVec{}
+	hists    = &obs.HistogramVec{}
+)
+
+//graphspar:bounded collapses any code into one of five class labels
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// echo has no bound on its result set.
+func echo(s string) string { return s }
+
+func record(err error, name string, status Status, code int) {
+	counters.With("upload").Inc()              // constant: ok
+	counters.With(string(status)).Inc()        // named-enum conversion: ok
+	counters.With(string(StatusDone)).Inc()    // constant through conversion: ok
+	counters.With(statusClass(code)).Inc()     // //graphspar:bounded helper: ok
+	hists.With(statusClass(code)).Observe(1)   // bounded on histograms too
+	counters.With(name).Inc()                  // want `metric label value 'name' is not provably bounded`
+	counters.With(err.Error()).Inc()           // want `metric label value 'err.Error\(\.\.\.\)' is not provably bounded`
+	counters.With(fmt.Sprint(code)).Inc()      // want `metric label value 'fmt.Sprint\(\.\.\.\)' is not provably bounded`
+	counters.With(strconv.Itoa(code)).Inc()    // want `metric label value 'strconv.Itoa\(\.\.\.\)' is not provably bounded`
+	counters.With(echo("fixed")).Inc()         // want `metric label value 'echo\(\.\.\.\)' is not provably bounded`
+	counters.With("job", string(status)).Inc() // multiple bounded labels: ok
+	counters.With("job", name).Inc()           // want `metric label value 'name' is not provably bounded`
+	//graphspar:cardinality-ok preaggregated to 12 shard names upstream
+	counters.With(name).Inc()
+
+	class := statusClass(code) // once-bound local from a bounded helper: ok
+	counters.With(class).Inc()
+	counters.With(class).Inc()
+
+	label := statusClass(code)
+	label = name               // reassignment taints the binding
+	counters.With(label).Inc() // want `metric label value 'label' is not provably bounded`
+}

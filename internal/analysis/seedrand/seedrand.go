@@ -1,0 +1,104 @@
+// Package seedrand implements the seedrand analyzer: it forbids the
+// process-global math/rand source and time-seeded sources in non-test
+// code. Every random choice in graphspar must be reproducible from the
+// run's seed (threaded via WithSeed / a -seed flag), so randomness must
+// flow through an explicit rand.New(rand.NewSource(seed)) — never
+// rand.Intn and friends on the shared source, and never a source
+// seeded from time.Now.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphspar/internal/analysis"
+	"graphspar/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc:  "forbid global/unseeded math/rand and time-seeded sources; randomness must derive from an explicit seed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ann := lintutil.NewAnnotations(pass)
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.FuncFor(pass.TypesInfo, call)
+			if fn == nil || !isMathRand(fn) {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // methods on *rand.Rand etc. operate on an explicit source
+			}
+			switch {
+			case fn.Name() == "Seed":
+				// Global rand.Seed: both deprecated and a shared-state
+				// reproducibility hazard.
+				if !ann.Allows(pass, call, "unseeded") {
+					pass.Reportf(call.Pos(), "rand.Seed mutates the process-global source; construct rand.New(rand.NewSource(seed)) with the run's seed instead")
+				}
+			case strings.HasPrefix(fn.Name(), "New"):
+				// Constructors are the sanctioned path — unless the seed
+				// argument is derived from the wall clock.
+				if timeSeeded(pass.TypesInfo, call) && !ann.Allows(pass, call, "unseeded") {
+					pass.Reportf(call.Pos(), "time-seeded %s.%s is not reproducible; thread the run's seed (WithSeed / -seed) instead of time.Now", fn.Pkg().Name(), fn.Name())
+				}
+			default:
+				// Any other package-level func (Intn, Float64, Perm,
+				// Shuffle, Read, ...) draws from the global source.
+				if !ann.Allows(pass, call, "unseeded") {
+					pass.Reportf(call.Pos(), "%s.%s uses the process-global rand source; use a *rand.Rand built from the run's seed", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMathRand(fn *types.Func) bool {
+	p := lintutil.PkgPath(fn)
+	return p == "math/rand" || p == "math/rand/v2"
+}
+
+// timeSeeded reports whether any argument of call contains a call to
+// time.Now (e.g. rand.NewSource(time.Now().UnixNano())). Nested
+// math/rand constructors are not descended into — they are diagnosed at
+// their own call site, so rand.New(rand.NewSource(time.Now())) yields
+// exactly one report, on NewSource.
+func timeSeeded(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.FuncFor(info, c)
+			if fn == nil {
+				return true
+			}
+			if isMathRand(fn) && strings.HasPrefix(fn.Name(), "New") {
+				return false
+			}
+			if fn.Name() == "Now" && lintutil.PkgPath(fn) == "time" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"graphspar/internal/analysis/analysistest"
+	"graphspar/internal/analysis/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	analysistest.Run(t, "testdata", seedrand.Analyzer, "pipe")
+}

@@ -1,0 +1,42 @@
+package pipe
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global-source draws are unreproducible.
+func badGlobalIntn() int {
+	return rand.Intn(10) // want `rand.Intn uses the process-global rand source`
+}
+
+func badGlobalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand.Shuffle uses the process-global rand source`
+}
+
+// Seeding the global source is still global state.
+func badGlobalSeed() {
+	rand.Seed(42) // want `rand.Seed mutates the process-global source`
+}
+
+// Wall-clock seeds defeat replay; exactly one report, on NewSource.
+func badTimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded rand.NewSource is not reproducible`
+}
+
+// The sanctioned path: explicit seed threaded from the caller.
+func goodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an explicit *rand.Rand are fine.
+func goodMethods(r *rand.Rand) int {
+	r.Seed(99)
+	return r.Intn(10)
+}
+
+// Annotated escape hatch.
+func goodAnnotated() int {
+	//graphspar:unseeded-ok jitter for retry backoff, never observable in results
+	return rand.Intn(10)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"graphspar/internal/graph"
 	"graphspar/internal/vecmath"
@@ -79,7 +80,10 @@ func RefineLambdaMin(g, p *graph.Graph, sweeps int) float64 {
 	}
 
 	for step := 0; step < sweeps; step++ {
-		// Candidates: frontier vertices (neighbors of S in G).
+		// Candidates: frontier vertices (neighbors of S in G), visited
+		// in ascending id order so equal-ratio ties resolve to the same
+		// vertex every run (map iteration here used to leak map order
+		// into the refined bound).
 		cand := map[int]bool{}
 		for v := 0; v < n; v++ {
 			if !inSet[v] {
@@ -92,8 +96,13 @@ func RefineLambdaMin(g, p *graph.Graph, sweeps int) float64 {
 				return true
 			})
 		}
-		bestV, bestNew := -1, best
+		candList := make([]int, 0, len(cand))
 		for v := range cand {
+			candList = append(candList, v)
+		}
+		sort.Ints(candList)
+		bestV, bestNew := -1, best
+		for _, v := range candList {
 			ng := cutG + deltaOf(v, g)
 			np := cutP + deltaOf(v, p)
 			if np <= 1e-300 {

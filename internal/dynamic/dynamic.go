@@ -296,6 +296,7 @@ func Resume(ctx context.Context, g *graph.Graph, warm *graph.Graph, opt Options)
 	}
 	// Restore spanning connectivity heaviest-first from g's edges.
 	uf := lsst.NewUnionFind(g.N())
+	//graphspar:nondeterministic-ok union-find connectivity is a set property: the final components are the same whatever order the unions run in
 	for k := range m.pW {
 		uf.Union(k[0], k[1])
 	}
@@ -754,6 +755,7 @@ func (m *Maintainer) offTreeCandidates() []int {
 // treeKey set, keeping the previous root.
 func (m *Maintainer) rebuildBackbone() error {
 	edges := make([]graph.Edge, 0, len(m.treeKey))
+	//graphspar:nondeterministic-ok tree.Build canonicalizes through graph.New, which sorts and merges the edge list before any traversal
 	for k := range m.treeKey {
 		w, ok := m.pW[k]
 		if !ok {
@@ -1042,6 +1044,7 @@ func (m *Maintainer) repairTree(g *graph.Graph, removed [][2]int, pDel map[[2]in
 		removedSet[k] = true
 	}
 	pairs := make([][2]int, 0, len(m.treeKey))
+	//graphspar:nondeterministic-ok pairs only seed union-find connectivity; FindReplacement then selects by weight over the deterministic g.Edges() order
 	for k := range m.treeKey {
 		if !removedSet[k] {
 			pairs = append(pairs, k)

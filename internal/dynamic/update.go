@@ -151,6 +151,7 @@ func ApplyToGraph(g *graph.Graph, batch []Update) (*graph.Graph, error) {
 		}
 		edges = append(edges, e)
 	}
+	//graphspar:nondeterministic-ok graph.New sorts and merges the edge list, erasing append order; touched has unique keys so merge sums cannot differ
 	for k, u := range touched {
 		if u.Op == OpInsert {
 			edges = append(edges, graph.Edge{U: k[0], V: k[1], W: u.W})
@@ -171,6 +172,7 @@ func ApplyToGraph(g *graph.Graph, batch []Update) (*graph.Graph, error) {
 // edgesFromMap materializes a graph from an edge-weight map.
 func edgesFromMap(n int, weights map[[2]int]float64) (*graph.Graph, error) {
 	edges := make([]graph.Edge, 0, len(weights))
+	//graphspar:nondeterministic-ok graph.New sorts and merges the edge list, erasing append order; weights has unique keys so merge sums cannot differ
 	for k, w := range weights {
 		edges = append(edges, graph.Edge{U: k[0], V: k[1], W: w})
 	}

@@ -22,6 +22,12 @@ import (
 // drives, and a sharded run's shard span encloses per-shard work. A
 // Trace is an observation log, not a tree.
 
+// PhaseName names a pipeline phase. It is a distinct type so the
+// compiler keeps arbitrary request-derived strings out of StartSpan:
+// the phase set is the closed vocabulary of string literals in pipeline
+// code, and it feeds a metric label, so it must stay low-cardinality.
+type PhaseName string
+
 // Phase is one completed span: its name, start offset from the trace's
 // first span, and duration.
 type Phase struct {
@@ -73,7 +79,7 @@ func FromContext(ctx context.Context) *Trace {
 
 // Span is one in-flight phase measurement.
 type Span struct {
-	name  string
+	name  PhaseName
 	start time.Time
 	trace *Trace
 	done  bool
@@ -87,7 +93,7 @@ var phaseSeconds = Default.HistogramVec("graphspar_phase_seconds",
 // StartSpan opens a phase span. End it exactly once; a second End is a
 // no-op. StartSpan never fails and costs two map reads plus a clock
 // read, so pipeline code can use it unconditionally.
-func StartSpan(ctx context.Context, name string) *Span {
+func StartSpan(ctx context.Context, name PhaseName) *Span {
 	return &Span{name: name, start: time.Now(), trace: FromContext(ctx)}
 }
 
@@ -98,9 +104,9 @@ func (s *Span) End() time.Duration {
 	}
 	s.done = true
 	d := time.Since(s.start)
-	phaseSeconds.With(s.name).Observe(d.Seconds())
+	phaseSeconds.With(string(s.name)).Observe(d.Seconds())
 	if s.trace != nil {
-		s.trace.add(s.name, s.start, d)
+		s.trace.add(string(s.name), s.start, d)
 	}
 	return d
 }

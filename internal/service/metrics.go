@@ -111,26 +111,50 @@ func (s *Server) registerStateMetrics() {
 		func() float64 { return float64(s.sessions.Stats().Expirations) })
 }
 
-// instrument wraps the routed mux with per-request accounting. The route
-// label is the ServeMux pattern the request matched (set on the request
-// by Go 1.23+ routing), so cardinality is bounded by the route table,
-// never by user input.
+// instrument wraps the routed mux with per-request accounting. All three
+// labels go through bounded helpers: the route is the matched ServeMux
+// pattern, the method is clamped to the registered HTTP verbs, and the
+// code to plausible HTTP statuses — so an attacker spraying garbage
+// methods or a buggy handler writing status 12345 cannot mint series.
 func (m *serverMetrics) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
-		route := r.Pattern
-		if route == "" {
-			route = "unmatched"
-		}
-		code := sw.status
-		if code == 0 {
-			code = http.StatusOK
-		}
-		m.requests.With(route, r.Method, strconv.Itoa(code)).Inc()
+		route := routeLabel(r)
+		m.requests.With(route, methodLabel(r.Method), statusLabel(sw.status)).Inc()
 		m.reqSeconds.With(route).Observe(time.Since(t0).Seconds())
 	})
+}
+
+//graphspar:bounded the matched ServeMux pattern comes from the fixed route table; unmatched requests collapse to one value
+func routeLabel(r *http.Request) string {
+	if r.Pattern == "" {
+		return "unmatched"
+	}
+	return r.Pattern
+}
+
+//graphspar:bounded collapses arbitrary request methods to the nine registered HTTP verbs plus "other"
+func methodLabel(method string) string {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete, http.MethodConnect,
+		http.MethodOptions, http.MethodTrace:
+		return method
+	}
+	return "other"
+}
+
+//graphspar:bounded clamps status codes to the 100-599 HTTP range plus "other"; an unset status means the handler wrote 200
+func statusLabel(code int) string {
+	if code == 0 {
+		code = http.StatusOK
+	}
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code)
 }
 
 // observeJobDone records one terminal job.
@@ -147,12 +171,21 @@ func (m *serverMetrics) observeJobDone(status JobStatus, wait, run time.Duration
 	}
 }
 
+// batchOutcome is the closed label set for stream batch accounting.
+type batchOutcome string
+
+const (
+	batchApplied  batchOutcome = "applied"
+	batchRejected batchOutcome = "rejected"
+	batchFailed   batchOutcome = "failed"
+)
+
 // observeStreamBatch records one stream batch and its latency.
-func (m *serverMetrics) observeStreamBatch(outcome string, d time.Duration) {
+func (m *serverMetrics) observeStreamBatch(outcome batchOutcome, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.streamBatches.With(outcome).Inc()
+	m.streamBatches.With(string(outcome)).Inc()
 	m.streamBatch.Observe(d.Seconds())
 }
 

@@ -463,15 +463,15 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 		line := s.streamApply(ctx, name, key, p, batch)
 		line.Batch = batches
 		line.Updates = len(batch)
-		outcome := "failed"
+		outcome := batchFailed
 		switch {
 		case line.Applied:
-			outcome = "applied"
+			outcome = batchApplied
 			applied++
 			st := line.sessionStats
 			lastStats = &st
 		case line.Rejected:
-			outcome = "rejected"
+			outcome = batchRejected
 			rejected++
 		}
 		s.metrics.observeStreamBatch(outcome, time.Since(t0))
