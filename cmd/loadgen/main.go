@@ -45,6 +45,7 @@ import (
 
 	"graphspar/cmd/internal/runners"
 	"graphspar/internal/cli"
+	"graphspar/internal/dynamic"
 	"graphspar/internal/graph"
 	"graphspar/internal/obs"
 	"graphspar/internal/service"
@@ -62,10 +63,15 @@ func main() {
 		shards    = flag.Int("shards", 0, "submit sharded jobs (0/1 = single-shot)")
 		mode      = flag.String("mode", "", "execution mode for job ops: single | sharded | multilevel (empty = let shards decide); jobs report as op class job:<mode>")
 		mix       = flag.String("mix", "upload=1,job=2,patch=4,stream=2,read=6", "op-class weights")
+		wire      = flag.String("wire", "text", "stream wire format: text (NDJSON) | binary (application/x-graphspar-events)")
 		out       = flag.String("out", "", "write a BENCH_serve.json-shaped report to this path")
 		serveWork = flag.Int("serve-workers", 4, "job workers for -selfserve")
 	)
 	flag.Parse()
+
+	if *wire != "text" && *wire != "binary" {
+		fatal(fmt.Errorf("bad -wire %q (want text or binary)", *wire))
+	}
 
 	ops, err := parseMix(*mix)
 	if err != nil {
@@ -109,6 +115,7 @@ func main() {
 		sigma2: *sigma2,
 		shards: *shards,
 		mode:   *mode,
+		wire:   *wire,
 		edges:  local.Edges(),
 	}
 	if err := c.register(); err != nil {
@@ -192,10 +199,37 @@ const sampleCap = 4096
 
 // opStats accumulates one worker's results for one op class.
 type opStats struct {
-	count   int
-	errors  int
-	lastErr string
-	samples []float64 // latency, ms; uniform reservoir of up to sampleCap
+	count    int
+	errors   int
+	rejected int // 429s from admission control; not errors
+	lastErr  string
+	samples  []float64 // latency, ms; uniform reservoir of up to sampleCap
+}
+
+// rejectedError marks a request the server shed with 429. The worker
+// honors the advertised Retry-After (capped so a soak never stalls on a
+// hostile header) and the op counts as a rejection, not an error —
+// shedding under overload is the admission controller doing its job.
+type rejectedError struct{ retryAfter time.Duration }
+
+func (e rejectedError) Error() string {
+	return fmt.Sprintf("shed with 429 (retry after %s)", e.retryAfter)
+}
+
+// retryAfterOf reads the Retry-After seconds from a 429 response,
+// defaulting to one second and capping at two.
+func retryAfterOf(resp *http.Response) time.Duration {
+	d := time.Second
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		var secs int
+		if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
 }
 
 // recordSample folds one latency into the reservoir (Algorithm R, with
@@ -235,12 +269,17 @@ func runLoad(c *client, ops []opWeight, conc int, d time.Duration, seed uint64) 
 				}
 				t0 := time.Now()
 				err := c.do(name, id, n, rng)
-				if err != nil {
-					st.errors++
-					st.lastErr = err.Error()
-				} else {
+				var rej rejectedError
+				switch {
+				case err == nil:
 					st.count++
 					st.recordSample(float64(time.Since(t0))/float64(time.Millisecond), rng)
+				case errors.As(err, &rej):
+					st.rejected++
+					time.Sleep(rej.retryAfter)
+				default:
+					st.errors++
+					st.lastErr = err.Error()
 				}
 				n++
 			}
@@ -258,6 +297,7 @@ func runLoad(c *client, ops []opWeight, conc int, d time.Duration, seed uint64) 
 			}
 			a.count += st.count
 			a.errors += st.errors
+			a.rejected += st.rejected
 			if st.lastErr != "" {
 				a.lastErr = st.lastErr
 			}
@@ -277,6 +317,7 @@ type client struct {
 	sigma2 float64
 	shards int
 	mode   string
+	wire   string // stream wire format: "text" | "binary"
 	edges  []graph.Edge
 }
 
@@ -406,23 +447,42 @@ func (c *client) patch(rng *rand.Rand) error {
 	return nil
 }
 
-// stream sends one NDJSON batch of reweights plus a commit. The first
-// stream against a cold server installs a maintainer session (a full
-// sparsification); later batches ride the resident session.
+// stream sends one batch of reweights plus a commit, in the text (NDJSON)
+// or binary wire format per -wire. The first stream against a cold server
+// installs a maintainer session (a full sparsification); later batches
+// ride the resident session.
 func (c *client) stream(rng *rand.Rand) error {
 	var b bytes.Buffer
-	for i := 0; i < 8; i++ {
-		u, v, w := c.randomReweight(rng)
-		fmt.Fprintf(&b, "= %d %d %g\n", u, v, w)
+	contentType := "application/x-ndjson"
+	if c.wire == "binary" {
+		buf := make([]byte, 0, 8*16)
+		for i := 0; i < 8; i++ {
+			u, v, w := c.randomReweight(rng)
+			var err error
+			buf, err = dynamic.AppendBinaryUpdate(buf, dynamic.Update{Op: dynamic.OpReweight, U: u, V: v, W: w})
+			if err != nil {
+				return err
+			}
+		}
+		b.Write(dynamic.AppendBinaryCommit(buf))
+		contentType = dynamic.BinaryContentType
+	} else {
+		for i := 0; i < 8; i++ {
+			u, v, w := c.randomReweight(rng)
+			fmt.Fprintf(&b, "= %d %d %g\n", u, v, w)
+		}
+		b.WriteString("commit\n")
 	}
-	b.WriteString("commit\n")
 	url := fmt.Sprintf("%s/v1/graphs/%s/stream?sigma2=%g", c.base, c.name, c.sigma2)
-	resp, err := c.http.Post(url, "application/x-ndjson", &b)
+	resp, err := c.http.Post(url, contentType, &b)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return rejectedError{retryAfterOf(resp)}
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("stream: %d %s", resp.StatusCode, raw)
 	}
@@ -481,6 +541,9 @@ func (c *client) json(method, path string, body, out any) (int, string, error) {
 	if err != nil {
 		return resp.StatusCode, "", err
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return resp.StatusCode, string(raw), rejectedError{retryAfterOf(resp)}
+	}
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.Unmarshal(raw, out); err != nil {
 			return resp.StatusCode, string(raw), err
@@ -525,9 +588,14 @@ type Report struct {
 }
 
 type OpReport struct {
-	Count        int     `json:"count"`
-	Errors       int     `json:"errors"`
-	LastError    string  `json:"last_error,omitempty"`
+	Count     int    `json:"count"`
+	Errors    int    `json:"errors"`
+	LastError string `json:"last_error,omitempty"`
+	// Rejected counts 429s from admission control: the server shedding
+	// load on purpose, reported separately from errors. RejectedRate is
+	// rejected / (count + rejected + errors).
+	Rejected     int     `json:"rejected"`
+	RejectedRate float64 `json:"rejected_rate"`
 	ThroughputPS float64 `json:"throughput_per_s"`
 	P50Ms        float64 `json:"p50_ms"`
 	P95Ms        float64 `json:"p95_ms"`
@@ -564,10 +632,16 @@ func buildReport(agg map[string]*opStats, spec string, conc int, d time.Duration
 	}
 	for name, st := range agg {
 		sort.Float64s(st.samples)
+		rejRate := 0.0
+		if total := st.count + st.rejected + st.errors; total > 0 {
+			rejRate = float64(st.rejected) / float64(total)
+		}
 		rep.Ops[name] = OpReport{
 			Count:        st.count,
 			Errors:       st.errors,
 			LastError:    st.lastErr,
+			Rejected:     st.rejected,
+			RejectedRate: rejRate,
 			ThroughputPS: float64(st.count) / d.Seconds(),
 			P50Ms:        percentile(st.samples, 0.50),
 			P95Ms:        percentile(st.samples, 0.95),
@@ -585,12 +659,12 @@ func printReport(rep Report) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-8s %8s %7s %10s %10s %10s %10s\n",
-		"op", "count", "errors", "ops/s", "p50 ms", "p95 ms", "p99 ms")
+	fmt.Printf("%-8s %8s %7s %8s %10s %10s %10s %10s\n",
+		"op", "count", "errors", "rejects", "ops/s", "p50 ms", "p95 ms", "p99 ms")
 	for _, name := range names {
 		op := rep.Ops[name]
-		fmt.Printf("%-8s %8d %7d %10.1f %10.2f %10.2f %10.2f\n",
-			name, op.Count, op.Errors, op.ThroughputPS, op.P50Ms, op.P95Ms, op.P99Ms)
+		fmt.Printf("%-8s %8d %7d %8d %10.1f %10.2f %10.2f %10.2f\n",
+			name, op.Count, op.Errors, op.Rejected, op.ThroughputPS, op.P50Ms, op.P95Ms, op.P99Ms)
 		if op.LastError != "" {
 			fmt.Printf("         last error: %s\n", op.LastError)
 		}

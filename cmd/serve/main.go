@@ -57,6 +57,10 @@ func main() {
 		sessBudget = flag.Int("session-budget-mb", 1024, "memory budget for resident sessions, MiB (estimated)")
 		sessTTL    = flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle this long (0 = never expire)")
 
+		admitQueue   = flag.Int("admit-queue-high", 0, "shed job submissions with 429 once this many jobs are queued (0 = 3/4 of backlog, -1 disables)")
+		admitStreams = flag.Int("admit-streams-high", 0, "shed stream requests with 429 beyond this many in flight (0 = 4x workers, -1 disables)")
+		admitRetry   = flag.Int("admit-retry-after", 1, "Retry-After seconds advertised on 429 responses")
+
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Var(&pre, "preload", "register name=SPEC at startup (repeatable); "+cli.SpecHelp)
@@ -74,17 +78,35 @@ func main() {
 	if ttl == 0 {
 		ttl = -1 // sessions.Options: negative = never expire
 	}
+	// Admission control is on by default in the binary (the library's
+	// Config leaves it off): shed with 429 + Retry-After at 3/4 of the
+	// backlog rather than queueing into unbounded job_wait_seconds, and
+	// bound concurrently held stream requests at 4x the worker pool.
+	queueHigh := *admitQueue
+	if queueHigh == 0 {
+		queueHigh = (disableZero(*backlog) * 3) / 4
+		if queueHigh < 1 {
+			queueHigh = 1
+		}
+	}
+	streamsHigh := *admitStreams
+	if streamsHigh == 0 {
+		streamsHigh = 4 * *workers
+	}
 	srv := service.NewServer(service.Config{
-		Workers:            *workers,
-		Backlog:            disableZero(*backlog),
-		CacheSize:          disableZero(*cache),
-		Sparsify:           runSparsify,
-		Incremental:        runIncremental,
-		Maintain:           runMaintain,
-		Resume:             runResume,
-		SessionMax:         disableZero(*sessMax),
-		SessionBudgetBytes: int64(*sessBudget) << 20,
-		SessionTTL:         ttl,
+		Workers:             *workers,
+		Backlog:             disableZero(*backlog),
+		CacheSize:           disableZero(*cache),
+		Sparsify:            runSparsify,
+		Incremental:         runIncremental,
+		Maintain:            runMaintain,
+		Resume:              runResume,
+		SessionMax:          disableZero(*sessMax),
+		SessionBudgetBytes:  int64(*sessBudget) << 20,
+		SessionTTL:          ttl,
+		AdmissionQueueHigh:  queueHigh,
+		AdmissionStreamHigh: streamsHigh,
+		AdmissionRetryAfter: *admitRetry,
 		// The default registry also carries the pipeline's per-phase
 		// histograms, so one /metrics scrape covers HTTP, queue, session
 		// and phase telemetry.
@@ -130,8 +152,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("sparsifyd listening on %s (workers=%d backlog=%d cache=%d sessions=%d budget=%dMiB ttl=%s)",
-		*addr, *workers, *backlog, *cache, *sessMax, *sessBudget, *sessTTL)
+	log.Printf("sparsifyd listening on %s (workers=%d backlog=%d cache=%d sessions=%d budget=%dMiB ttl=%s admit-queue=%d admit-streams=%d)",
+		*addr, *workers, *backlog, *cache, *sessMax, *sessBudget, *sessTTL, queueHigh, streamsHigh)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

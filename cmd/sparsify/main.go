@@ -29,6 +29,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -62,6 +63,7 @@ func main() {
 		embedWork = flag.Int("embed-workers", 0, "goroutines for the probe-vector solves (0 = sequential; any value is bit-identical)")
 		stream    = flag.String("update-stream", "", "edge-event file to replay through the incremental maintainer after the initial sparsification")
 		remote    = flag.String("remote", "", "base URL of a sparsifyd server; -update-stream replays the event file against its /stream endpoint (-graph names the registered graph)")
+		wireFmt   = flag.String("wire", "text", "wire format for -remote streaming: text (NDJSON) | binary")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print per-round densification stats (per shard in sharded mode)")
 	)
@@ -74,7 +76,10 @@ func main() {
 		if *spec == "" {
 			fatal(errors.New("-remote requires -graph naming a graph registered on the server"))
 		}
-		runRemoteStream(*remote, *spec, *stream, remoteQuery(*sigmaSq, *tSteps, *rVecs, *treeAlg, *partAlg, *shards, *workers, *seed))
+		if *wireFmt != "text" && *wireFmt != "binary" {
+			fatal(fmt.Errorf("bad -wire %q (want text or binary)", *wireFmt))
+		}
+		runRemoteStream(*remote, *spec, *stream, *wireFmt, remoteQuery(*sigmaSq, *tSteps, *rVecs, *treeAlg, *partAlg, *shards, *workers, *seed))
 		return
 	}
 
@@ -296,15 +301,31 @@ func remoteQuery(sigmaSq float64, t, r int, tree, part string, shards, workers i
 
 // runRemoteStream streams an event file to a live server's
 // POST /v1/graphs/{name}/stream and relays the NDJSON result lines,
-// exiting non-zero if the server reports an error.
-func runRemoteStream(base, name, path string, q url.Values) {
+// exiting non-zero if the server reports an error. With wire "binary"
+// the text event file is transcoded to the compact binary framing and
+// sent under its Content-Type; the response is NDJSON either way.
+func runRemoteStream(base, name, path, wire string, q url.Values) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
+	var body io.Reader = f
+	contentType := "application/x-ndjson"
+	if wire == "binary" {
+		batches, err := graphspar.ParseEvents(f)
+		if err != nil {
+			fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := graphspar.WriteBinaryEvents(&buf, batches); err != nil {
+			fatal(err)
+		}
+		body = &buf
+		contentType = graphspar.BinaryEventsContentType
+	}
 	endpoint := strings.TrimSuffix(base, "/") + "/v1/graphs/" + url.PathEscape(name) + "/stream?" + q.Encode()
-	resp, err := http.Post(endpoint, "application/x-ndjson", f)
+	resp, err := http.Post(endpoint, contentType, body)
 	if err != nil {
 		fatal(err)
 	}

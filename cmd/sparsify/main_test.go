@@ -134,7 +134,7 @@ func TestRunRemoteStream(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	runRemoteStream(srv.URL, "mygraph", events, remoteQuery(75, 2, 0, "maxweight", "bfs", 1, 0, 1))
+	runRemoteStream(srv.URL, "mygraph", events, "text", remoteQuery(75, 2, 0, "maxweight", "bfs", 1, 0, 1))
 	if gotPath != "/v1/graphs/mygraph/stream" {
 		t.Fatalf("path = %q", gotPath)
 	}

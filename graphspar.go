@@ -80,6 +80,7 @@ func New(opts ...Option) (*Sparsifier, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cfg.workspace = core.NewWorkspace()
 	return &Sparsifier{cfg: cfg}, nil
 }
 

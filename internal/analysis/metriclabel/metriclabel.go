@@ -12,6 +12,10 @@
 //   - a call to a same-package function whose doc comment carries the
 //     `//graphspar:bounded <reason>` directive, asserting its result
 //     set is finite (e.g. an HTTP-status canonicalizer);
+//   - a call to a same-package function that is bounded by construction:
+//     a single string result where every return statement returns a
+//     string constant, so the result set is at most the number of
+//     return sites (no directive needed);
 //   - a local variable bound exactly once (`:=`, never reassigned or
 //     address-taken) to a value that is itself bounded;
 //   - covered by a `//graphspar:cardinality-ok <reason>` annotation on
@@ -79,26 +83,85 @@ func isObsWith(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // boundedFuncs collects the objects of functions in this package whose
-// doc comment carries //graphspar:bounded.
+// result set is provably finite: either the doc comment carries the
+// //graphspar:bounded directive, or every return statement returns a
+// string constant (bounded by construction — constant-return inference).
 func boundedFuncs(pass *analysis.Pass) map[types.Object]bool {
 	out := map[types.Object]bool{}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
+			if !ok {
 				continue
 			}
-			for _, c := range fd.Doc.List {
-				if strings.HasPrefix(c.Text, "//graphspar:bounded") {
-					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-						out[obj] = true
-					}
-					break
+			if hasBoundedDirective(fd) || allReturnsConstantString(pass.TypesInfo, fd) {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = true
 				}
 			}
 		}
 	}
 	return out
+}
+
+func hasBoundedDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//graphspar:bounded") {
+			return true
+		}
+	}
+	return false
+}
+
+// allReturnsConstantString reports whether fd declares exactly one
+// string-typed result and every return statement in its own body (not
+// in nested function literals, whose returns are their own) returns a
+// string constant. Such a function's result set has at most as many
+// members as it has return sites, so it is bounded without a directive
+// — e.g. a route classifier returning "stream" or "jobs". A naked
+// return through a named result disqualifies it: the result variable
+// could have been assigned anything along the way.
+func allReturnsConstantString(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || fd.Type.Results == nil {
+		return false
+	}
+	results := 0
+	for _, field := range fd.Type.Results.List {
+		if len(field.Names) == 0 {
+			results++
+		} else {
+			results += len(field.Names)
+		}
+	}
+	if results != 1 {
+		return false
+	}
+	sawReturn, constant := false, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !constant {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			sawReturn = true
+			if len(n.Results) != 1 || !isStringConst(info, n.Results[0]) {
+				constant = false
+				return false
+			}
+		}
+		return true
+	})
+	return sawReturn && constant
+}
+
+func isStringConst(info *types.Info, e ast.Expr) bool {
+	tv := info.Types[ast.Unparen(e)]
+	return tv.Value != nil && tv.Value.Kind() == constant.String
 }
 
 // binding records how a local variable was introduced: its single `:=`

@@ -34,6 +34,43 @@ func statusClass(code int) string {
 // echo has no bound on its result set.
 func echo(s string) string { return s }
 
+// routeKind is bounded by construction: every return is a string
+// constant, so no //graphspar:bounded directive is needed.
+func routeKind(stream bool) string {
+	if stream {
+		return "stream"
+	}
+	return "jobs"
+}
+
+// pickLabel is constant-return too, through a const and a foldable
+// concatenation; the non-constant return inside the closure belongs to
+// the closure, not to pickLabel.
+func pickLabel(n int) string {
+	f := func(s string) string { return s }
+	_ = f("ignored")
+	if n > 0 {
+		return string(StatusDone)
+	}
+	return "pre" + "fix"
+}
+
+// mixedReturns leaks its argument on one path, so inference must not
+// treat it as bounded.
+func mixedReturns(s string) string {
+	if s == "" {
+		return "empty"
+	}
+	return s
+}
+
+// nakedReturn funnels through a named result; a naked return proves
+// nothing about the value, so inference must not accept it.
+func nakedReturn(s string) (out string) {
+	out = s
+	return
+}
+
 func record(err error, name string, status Status, code int) {
 	counters.With("upload").Inc()              // constant: ok
 	counters.With(string(status)).Inc()        // named-enum conversion: ok
@@ -50,9 +87,17 @@ func record(err error, name string, status Status, code int) {
 	//graphspar:cardinality-ok preaggregated to 12 shard names upstream
 	counters.With(name).Inc()
 
+	counters.With(routeKind(true)).Inc()      // constant-return inference: ok
+	counters.With(pickLabel(code)).Inc()      // constant-return inference: ok
+	counters.With(mixedReturns(name)).Inc()   // want `metric label value 'mixedReturns\(\.\.\.\)' is not provably bounded`
+	counters.With(nakedReturn("fixed")).Inc() // want `metric label value 'nakedReturn\(\.\.\.\)' is not provably bounded`
+
 	class := statusClass(code) // once-bound local from a bounded helper: ok
 	counters.With(class).Inc()
 	counters.With(class).Inc()
+
+	route := routeKind(false) // once-bound local from an inferred-bounded helper: ok
+	counters.With(route).Inc()
 
 	label := statusClass(code)
 	label = name               // reassignment taints the binding

@@ -112,6 +112,17 @@ func ereach(a *sparse.CSR, k int, parent, s, w, stack []int) int {
 // symmetric CSR storage, both triangles present) with the given symmetric
 // permutation (perm[new] = old). Passing nil perm uses the identity.
 func FactorCSR(a *sparse.CSR, perm []int) (*Factor, error) {
+	return FactorCSRWS(a, perm, nil)
+}
+
+// FactorCSRWS is FactorCSR with the per-factorization scratch — the
+// ereach marker, pattern and stack arrays, the symbolic column counts,
+// the dense row accumulator and the column write cursors — drawn from ws
+// instead of the heap. Only scratch is pooled; everything retained by
+// the returned Factor (column pointers, indices, values, permutations,
+// the elimination tree) is always freshly allocated. A nil ws behaves
+// exactly like FactorCSR.
+func FactorCSRWS(a *sparse.CSR, perm []int, ws *Workspace) (*Factor, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows, a.Cols)
 	}
@@ -132,16 +143,23 @@ func FactorCSR(a *sparse.CSR, perm []int) (*Factor, error) {
 	}
 
 	parent := etree(ap)
-	s := make([]int, n)
-	w := make([]int, n)
-	stack := make([]int, n)
+	s := ws.getInts(n)
+	defer ws.putInts(s)
+	w := ws.getInts(n)
+	defer ws.putInts(w)
+	stack := ws.getInts(n)
+	defer ws.putInts(stack)
 	for i := range w {
 		w[i] = -1
 	}
 
 	// Symbolic pass: count entries per column of L. Row k contributes one
 	// entry to every column in its ereach pattern, plus its own diagonal.
-	colCount := make([]int, n)
+	colCount := ws.getInts(n)
+	defer ws.putInts(colCount)
+	for i := range colCount {
+		colCount[i] = 0
+	}
 	for k := 0; k < n; k++ {
 		top := ereach(ap, k, parent, s, w, stack)
 		for t := top; t < n; t++ {
@@ -168,8 +186,17 @@ func FactorCSR(a *sparse.CSR, perm []int) (*Factor, error) {
 	for i := range w {
 		w[i] = -1
 	}
-	x := make([]float64, n)   // dense accumulator for row k
-	colNext := make([]int, n) // next free slot per column
+	// Dense accumulator for row k. The algorithm maintains the invariant
+	// that every touched position is reset to zero as its pattern row is
+	// consumed, but a pooled slice (or an earlier factorization that bailed
+	// out mid-row on ErrNotSPD) starts dirty, so zero it explicitly.
+	x := ws.getVec(n)
+	defer ws.putVec(x)
+	for i := range x {
+		x[i] = 0
+	}
+	colNext := ws.getInts(n) // next free slot per column
+	defer ws.putInts(colNext)
 	// Diagonal entries go in first; colNext starts just past them.
 	for j := 0; j < n; j++ {
 		colNext[j] = colPtr[j] + 1
@@ -342,7 +369,17 @@ type LapSolver struct {
 // NewLapSolver grounds the last vertex of g, orders with minimum degree
 // and factors.
 func NewLapSolver(g *graph.Graph) (*LapSolver, error) {
-	return newLapSolver(g, nil)
+	return newLapSolverWS(g, nil, nil)
+}
+
+// NewLapSolverWS is NewLapSolver with the factorization scratch drawn
+// from ws. Repeated solver builds over same-sized graphs — the
+// sparsifier's per-round inner solver, the dynamic maintainer's
+// refactorizations — reuse the marker arrays and the dense accumulator
+// instead of reallocating them each build. A nil ws behaves exactly like
+// NewLapSolver.
+func NewLapSolverWS(g *graph.Graph, ws *Workspace) (*LapSolver, error) {
+	return newLapSolverWS(g, nil, ws)
 }
 
 // NewLapSolverOrdered factors with a caller-supplied elimination order of
@@ -356,7 +393,17 @@ func NewLapSolverOrdered(g *graph.Graph, perm []int) (*LapSolver, error) {
 	if err := validatePerm(perm, g.N()-1); err != nil {
 		return nil, err
 	}
-	return newLapSolver(g, perm)
+	return newLapSolverWS(g, perm, nil)
+}
+
+// NewLapSolverOrderedWS is NewLapSolverOrdered with factorization scratch
+// drawn from ws — the dynamic maintainer's refactorization path, which
+// rebuilds same-sized factors for the lifetime of a stream session.
+func NewLapSolverOrderedWS(g *graph.Graph, perm []int, ws *Workspace) (*LapSolver, error) {
+	if err := validatePerm(perm, g.N()-1); err != nil {
+		return nil, err
+	}
+	return newLapSolverWS(g, perm, ws)
 }
 
 func validatePerm(perm []int, want int) error {
@@ -409,7 +456,7 @@ func SymbolicFactorNNZ(g *graph.Graph, perm []int) (int, error) {
 	return nnz, nil
 }
 
-func newLapSolver(g *graph.Graph, perm []int) (*LapSolver, error) {
+func newLapSolverWS(g *graph.Graph, perm []int, ws *Workspace) (*LapSolver, error) {
 	if err := g.RequireConnected(); err != nil {
 		return nil, err
 	}
@@ -424,7 +471,7 @@ func newLapSolver(g *graph.Graph, perm []int) (*LapSolver, error) {
 	if perm == nil {
 		perm = MinDegree(red)
 	}
-	f, err := FactorCSR(red, perm)
+	f, err := FactorCSRWS(red, perm, ws)
 	if err != nil {
 		return nil, err
 	}

@@ -111,6 +111,13 @@ type Options struct {
 	// Results are bit-identical for every worker count, so this is purely
 	// a wall-clock knob; see EmbedOffTreeParallel.
 	EmbedWorkers int
+	// Workspace, when non-nil, supplies pooled scratch for the embedding
+	// vectors and the Direct solver's factorization temporaries, making
+	// repeated Sparsify calls over same-sized graphs nearly allocation-free
+	// on those paths. Pooling never changes results (every pooled buffer
+	// is fully overwritten before use); nil keeps the un-pooled behavior.
+	// One Workspace per long-lived Sparsifier is the intended shape.
+	Workspace *Workspace
 	// Seed drives every random choice. Default 1.
 	Seed uint64
 }
@@ -205,11 +212,12 @@ type Solver interface {
 	Solve(x, b []float64)
 }
 
-// newInnerSolver returns an L_P⁺ applier for the current sparsifier.
-func newInnerSolver(p *graph.Graph, backbone *tree.Tree, kind SolverKind, tol float64) (Solver, error) {
+// newInnerSolver returns an L_P⁺ applier for the current sparsifier. ws
+// (nil allowed) pools the Direct factorization's scratch across rounds.
+func newInnerSolver(p *graph.Graph, backbone *tree.Tree, kind SolverKind, tol float64, ws *Workspace) (Solver, error) {
 	switch kind {
 	case Direct:
-		return cholesky.NewLapSolver(p)
+		return cholesky.NewLapSolverWS(p, ws.Chol())
 	case TreePCG:
 		return &eig.PCGSolver{G: p, M: pcg.TreePrecond{T: backbone}, Tol: tol, MaxIter: 4 * p.N()}, nil
 	case AMG:
@@ -365,7 +373,7 @@ func SparsifyCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, err
 
 		// Embed and filter.
 		embedSpan := obs.StartSpan(ctx, "embed")
-		heats, maxHeat := EmbedOffTreeParallel(g, solver, remaining, opt.T, opt.NumVectors, rng.Uint64(), opt.EmbedWorkers)
+		heats, maxHeat := embedOffTree(g, solver, remaining, opt.T, opt.NumVectors, rng.Uint64(), opt.EmbedWorkers, opt.Workspace)
 		embedSpan.End()
 		theta := Threshold(opt.SigmaSq, lmin, lmax, opt.T)
 		stats.Threshold = theta
@@ -456,7 +464,7 @@ func SparsifyCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, err
 		stats.EdgesTotal = p.M()
 		res.Rounds = append(res.Rounds, stats)
 
-		solver, err = newInnerSolver(p, backbone, opt.Solver, opt.SolverTol)
+		solver, err = newInnerSolver(p, backbone, opt.Solver, opt.SolverTol, opt.Workspace)
 		if err != nil {
 			return nil, fmt.Errorf("core: inner solver setup: %w", err)
 		}

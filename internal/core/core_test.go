@@ -289,7 +289,7 @@ func TestVerifySimilarityAgreesWithEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver, err := newInnerSolver(res.Sparsifier, res.Tree, TreePCG, 1e-10)
+	solver, err := newInnerSolver(res.Sparsifier, res.Tree, TreePCG, 1e-10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

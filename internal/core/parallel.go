@@ -70,6 +70,16 @@ func probeHeats(g *graph.Graph, solver Solver, offIDs []int, t int, seed uint64,
 // without a concurrency-safe session (see sessionSolver) fall back to one
 // worker; the output is still identical.
 func EmbedOffTreeParallel(g *graph.Graph, solver Solver, offIDs []int, t, r int, seed uint64, workers int) ([]float64, float64) {
+	return embedOffTree(g, solver, offIDs, t, r, seed, workers, nil)
+}
+
+// embedOffTree is the embedding behind EmbedOffTree(Parallel), with the
+// scratch vectors (h, y, per-probe contributions) drawn from ws. The
+// returned heats slice is always freshly allocated — it escapes to the
+// caller and is never pooled. Pooled buffers are fully overwritten by
+// probeHeats before being read, so the result stays bit-identical to the
+// un-pooled path for every worker count.
+func embedOffTree(g *graph.Graph, solver Solver, offIDs []int, t, r int, seed uint64, workers int, ws *Workspace) ([]float64, float64) {
 	n := g.N()
 	if workers > r {
 		workers = r
@@ -93,15 +103,18 @@ func EmbedOffTreeParallel(g *graph.Graph, solver Solver, offIDs []int, t, r int,
 		// Accumulate each probe in place, in vector order — O(|offIDs|)
 		// memory, and the same summation order as the parallel reduction
 		// below, so the two paths stay bit-identical.
-		h := make([]float64, n)
-		y := make([]float64, n)
-		out := make([]float64, len(offIDs))
+		h := ws.vec(n)
+		y := ws.vec(n)
+		out := ws.vec(len(offIDs))
 		for j := 0; j < r; j++ {
 			probeHeats(g, solver, offIDs, t, probeSeed(seed, j), h, y, out)
 			for i, v := range out {
 				heats[i] += v
 			}
 		}
+		ws.putVec(h)
+		ws.putVec(y)
+		ws.putVec(out)
 	} else {
 		contrib := make([][]float64, r)
 		jobs := make(chan int)
@@ -110,13 +123,15 @@ func EmbedOffTreeParallel(g *graph.Graph, solver Solver, offIDs []int, t, r int,
 			wg.Add(1)
 			go func(sv Solver) {
 				defer wg.Done()
-				h := make([]float64, n)
-				y := make([]float64, n)
+				h := ws.vec(n)
+				y := ws.vec(n)
 				for j := range jobs {
-					out := make([]float64, len(offIDs))
+					out := ws.vec(len(offIDs))
 					probeHeats(g, sv, offIDs, t, probeSeed(seed, j), h, y, out)
 					contrib[j] = out
 				}
+				ws.putVec(h)
+				ws.putVec(y)
 			}(solvers[w])
 		}
 		for j := 0; j < r; j++ {
@@ -126,11 +141,13 @@ func EmbedOffTreeParallel(g *graph.Graph, solver Solver, offIDs []int, t, r int,
 		wg.Wait()
 		// Fixed-order reduction: summation order must not depend on
 		// worker scheduling or float rounding would break run-to-run
-		// determinism. Slices are released as they are folded in.
+		// determinism. Slices are returned to the workspace as they are
+		// folded in.
 		for j := 0; j < r; j++ {
 			for i, v := range contrib[j] {
 				heats[i] += v
 			}
+			ws.putVec(contrib[j])
 			contrib[j] = nil
 		}
 	}

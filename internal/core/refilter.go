@@ -42,7 +42,7 @@ func Refilter(ctx context.Context, g *graph.Graph, keptIDs, candIDs []int, opt O
 		if err := ctx.Err(); err != nil {
 			return nil, nil, 0, 0, 0, err
 		}
-		solver, err := cholesky.NewLapSolver(p)
+		solver, err := cholesky.NewLapSolverWS(p, opt.Workspace.Chol())
 		if err != nil {
 			return nil, nil, 0, 0, 0, fmt.Errorf("refilter: solver: %w", err)
 		}
@@ -58,7 +58,7 @@ func Refilter(ctx context.Context, g *graph.Graph, keptIDs, candIDs []int, opt O
 			break
 		}
 
-		heats, maxHeat := EmbedOffTreeParallel(g, solver, cands, t, r, rng.Uint64(), workers)
+		heats, maxHeat := embedOffTree(g, solver, cands, t, r, rng.Uint64(), workers, opt.Workspace)
 		theta := Threshold(sigma, lmin, lmax, t)
 
 		// Rank the passing candidates by heat and add them in capped

@@ -74,7 +74,7 @@ func RescaleOffTree(g *graph.Graph, res *Result, gammas []float64, seed uint64) 
 		if err != nil {
 			return nil, err
 		}
-		solver, err := newInnerSolver(p, res.Tree, Direct, 1e-8)
+		solver, err := newInnerSolver(p, res.Tree, Direct, 1e-8, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -37,7 +37,7 @@ func TestEstimateTraceIdentityOperator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver, err := newInnerSolver(g, nil, Direct, 0)
+	solver, err := newInnerSolver(g, nil, Direct, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+
+	"graphspar/internal/cholesky"
+)
+
+// Workspace pools the sparsifier's per-call scratch so repeated runs over
+// same-sized graphs — the serving daemon's job loop, the dynamic
+// maintainer's rebuild path — stop churning the allocator: the embedding's
+// probe and propagation vectors (h, y and the per-probe heat
+// contributions) come from a float pool, and the inner direct solver's
+// factorization scratch comes from an embedded cholesky.Workspace.
+//
+// Thread one through Options.Workspace; there are deliberately no package
+// globals. A Workspace is safe for concurrent use, so one per Sparsifier
+// (shared by however many goroutines call it) is the intended shape. A
+// nil *Workspace is valid everywhere and falls back to fresh allocations,
+// reproducing the un-pooled behavior exactly.
+//
+// Pooling never changes results: every pooled buffer is fully overwritten
+// before it is read (probeHeats writes h, y and out end to end), so the
+// fixed-order reductions that keep the embedding bit-identical across
+// worker counts see exactly the values they would have seen with fresh
+// zeroed slices.
+type Workspace struct {
+	vecs sync.Pool // *[]float64
+	chol *cholesky.Workspace
+}
+
+// NewWorkspace returns an empty workspace with an embedded solver
+// workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{chol: cholesky.NewWorkspace()}
+}
+
+// vec returns a length-n float64 slice with arbitrary contents.
+func (ws *Workspace) vec(n int) []float64 {
+	if ws != nil {
+		if p, _ := ws.vecs.Get().(*[]float64); p != nil && cap(*p) >= n {
+			return (*p)[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putVec returns a slice obtained from vec to the pool.
+func (ws *Workspace) putVec(s []float64) {
+	if ws == nil || cap(s) == 0 {
+		return
+	}
+	ws.vecs.Put(&s)
+}
+
+// Chol returns the embedded factorization workspace; nil for a nil
+// receiver or a zero-value Workspace, which the cholesky package accepts.
+// The dynamic maintainer pulls this out of Options.Workspace so its
+// incremental refactorizations share the sparsifier's solver scratch.
+func (ws *Workspace) Chol() *cholesky.Workspace {
+	if ws == nil {
+		return nil
+	}
+	return ws.chol
+}

@@ -1,0 +1,212 @@
+package dynamic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary event wire format (application/x-graphspar-events).
+//
+// A compact peer of the text wire in stream.go, negotiated by
+// Content-Type on the service's stream endpoint. A stream is a flat
+// sequence of records, each:
+//
+//	1 op byte   0x00 commit · 0x01 insert · 0x02 delete · 0x03 reweight
+//	uvarint u   endpoint (absent for commit)
+//	uvarint v   endpoint (absent for commit)
+//	8 bytes     float64 weight, IEEE-754 bits little-endian
+//	            (insert/reweight only; absent for delete)
+//
+// Varint endpoints keep typical records at 4–12 bytes versus ~20+ for
+// the text spelling, and the fixed-width weight decodes without any
+// float parsing. Semantics match the text format exactly: commit closes
+// the current batch, updates after the last commit form a final
+// implicit batch, and empty batches are dropped by consumers.
+const BinaryContentType = "application/x-graphspar-events"
+
+// Binary wire op bytes. Distinct from the Op enum so the wire encoding
+// stays frozen even if the in-memory enum is ever reordered.
+const (
+	binOpCommit   = 0x00
+	binOpInsert   = 0x01
+	binOpDelete   = 0x02
+	binOpReweight = 0x03
+)
+
+// binWireOp maps an in-memory Op to its wire byte.
+func binWireOp(op Op) (byte, error) {
+	switch op {
+	case OpInsert:
+		return binOpInsert, nil
+	case OpDelete:
+		return binOpDelete, nil
+	case OpReweight:
+		return binOpReweight, nil
+	default:
+		return 0, fmt.Errorf("%w: op %v", ErrBadUpdate, op)
+	}
+}
+
+// AppendBinaryUpdate appends one update record to dst and returns the
+// extended slice. It is allocation-free beyond dst growth, so encoders
+// (loadgen, sparsify -remote) can reuse one buffer per batch. Negative
+// endpoints cannot be represented and are rejected; they would be
+// rejected by validation on apply anyway.
+func AppendBinaryUpdate(dst []byte, u Update) ([]byte, error) {
+	op, err := binWireOp(u.Op)
+	if err != nil {
+		return dst, err
+	}
+	if u.U < 0 || u.V < 0 {
+		return dst, fmt.Errorf("%w: negative endpoint (%d,%d)", ErrBadUpdate, u.U, u.V)
+	}
+	dst = append(dst, op)
+	dst = binary.AppendUvarint(dst, uint64(u.U))
+	dst = binary.AppendUvarint(dst, uint64(u.V))
+	if u.Op != OpDelete {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(u.W))
+	}
+	return dst, nil
+}
+
+// AppendBinaryCommit appends a batch-boundary record to dst.
+func AppendBinaryCommit(dst []byte) []byte {
+	return append(dst, binOpCommit)
+}
+
+// BinaryReader incrementally decodes a binary event stream. Next is
+// allocation-free on the happy path: varints come off the bufio.Reader
+// byte by byte and the weight through a fixed scratch array.
+type BinaryReader struct {
+	br      *bufio.Reader
+	scratch [8]byte
+	records int
+}
+
+// NewBinaryReader wraps r for record-at-a-time decoding.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{br: bufio.NewReader(r)}
+}
+
+// Records reports how many records (updates and commits) have been
+// decoded so far — the binary analogue of a line number for errors.
+func (d *BinaryReader) Records() int { return d.records }
+
+// Next decodes the next record. It returns (update, false, nil) for an
+// update, (zero, true, nil) for a commit, and io.EOF exactly at a clean
+// end of stream; a stream truncated mid-record is an ErrBadUpdate.
+func (d *BinaryReader) Next() (Update, bool, error) {
+	op, err := d.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Update{}, false, io.EOF
+		}
+		return Update{}, false, err
+	}
+	d.records++
+	if op == binOpCommit {
+		return Update{}, true, nil
+	}
+	var u Update
+	switch op {
+	case binOpInsert:
+		u.Op = OpInsert
+	case binOpDelete:
+		u.Op = OpDelete
+	case binOpReweight:
+		u.Op = OpReweight
+	default:
+		return Update{}, false, fmt.Errorf("%w: record %d: unknown op byte 0x%02x", ErrBadUpdate, d.records, op)
+	}
+	if u.U, err = d.readVertex(); err != nil {
+		return Update{}, false, err
+	}
+	if u.V, err = d.readVertex(); err != nil {
+		return Update{}, false, err
+	}
+	if u.Op != OpDelete {
+		if _, err := io.ReadFull(d.br, d.scratch[:]); err != nil {
+			return Update{}, false, d.truncated(err)
+		}
+		u.W = math.Float64frombits(binary.LittleEndian.Uint64(d.scratch[:]))
+	}
+	return u, false, nil
+}
+
+func (d *BinaryReader) readVertex() (int, error) {
+	x, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, d.truncated(err)
+	}
+	if x > uint64(math.MaxInt32) {
+		return 0, fmt.Errorf("%w: record %d: vertex %d out of range", ErrBadUpdate, d.records, x)
+	}
+	return int(x), nil
+}
+
+// truncated converts an EOF inside a record into a diagnosable
+// ErrBadUpdate; other reader errors pass through.
+func (d *BinaryReader) truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: record %d: truncated record", ErrBadUpdate, d.records)
+	}
+	return err
+}
+
+// ReadBinaryEvents decodes a whole binary stream into update batches,
+// the binary analogue of ParseEvents (same batching semantics).
+func ReadBinaryEvents(r io.Reader) ([][]Update, error) {
+	d := NewBinaryReader(r)
+	var (
+		batches [][]Update
+		cur     []Update
+	)
+	for {
+		u, commit, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if commit {
+			if len(cur) > 0 {
+				batches = append(batches, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, u)
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// WriteBinaryEvents serializes batches in the binary wire format with
+// commit separators, the inverse of ReadBinaryEvents. Like WriteEvents
+// it leaves the final batch implicit (no trailing commit).
+func WriteBinaryEvents(w io.Writer, batches [][]Update) error {
+	var buf []byte
+	for i, batch := range batches {
+		buf = buf[:0]
+		var err error
+		for _, u := range batch {
+			if buf, err = AppendBinaryUpdate(buf, u); err != nil {
+				return err
+			}
+		}
+		if i < len(batches)-1 {
+			buf = AppendBinaryCommit(buf)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

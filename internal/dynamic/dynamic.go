@@ -850,9 +850,10 @@ func (m *Maintainer) refreshFactor(deltas []edgeDelta) error {
 func (m *Maintainer) refactor() error {
 	m.updatesSinceFactor = 0
 	m.stats.FactorRebuilds++
+	ws := m.opt.Sparsify.Workspace.Chol()
 	if m.perm != nil && len(m.perm) == m.p.N()-1 && m.nnzAtOrder > 0 {
 		if nnz, err := cholesky.SymbolicFactorNNZ(m.p, m.perm); err == nil && nnz <= fillLimit*m.nnzAtOrder {
-			solver, err := cholesky.NewLapSolverOrdered(m.p, m.perm)
+			solver, err := cholesky.NewLapSolverOrderedWS(m.p, m.perm, ws)
 			if err == nil {
 				m.solver = solver
 				return nil
@@ -866,7 +867,7 @@ func (m *Maintainer) refactor() error {
 	if offTree := m.p.M() - (m.p.N() - 1); offTree*32 <= m.p.N() {
 		solver, err = cholesky.NewLapSolverND(m.p)
 	} else {
-		solver, err = cholesky.NewLapSolver(m.p)
+		solver, err = cholesky.NewLapSolverWS(m.p, ws)
 	}
 	if err != nil {
 		return fmt.Errorf("dynamic: sparsifier factorization: %w", err)

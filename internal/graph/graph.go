@@ -40,9 +40,17 @@ type Edge struct {
 // Graph is an undirected weighted graph. Construct with New or Builder
 // functions; the zero value is an empty graph with no vertices. A Graph
 // is immutable after construction and safe for concurrent readers: the
-// lazily built adjacency index is guarded by a sync.Once, so one Graph
-// may be shared between the service registry, job workers and a
-// resident maintainer session without external locking.
+// lazily built adjacency index and Laplacian export are each guarded by
+// a sync.Once, so one Graph may be shared between the service registry,
+// job workers and a resident maintainer session without external
+// locking.
+//
+// Immutability is also what makes sharing cheap: derived graphs
+// (AddEdges with no extras, registry snapshots, session views) may
+// alias the same backing edge slice instead of copying it. The contract
+// is copy-on-write — any operation that would change the edge set
+// builds a new slice and a new Graph, never writes through a shared
+// one.
 type Graph struct {
 	n     int
 	edges []Edge
@@ -53,6 +61,10 @@ type Graph struct {
 	adjPtr  []int
 	adjTo   []int
 	adjEdge []int
+
+	// Lazily built Laplacian CSR (eq. 1); immutable once published.
+	lapOnce sync.Once
+	lap     *sparse.CSR
 }
 
 // New builds a graph with n vertices from the given edges. Edges may be
@@ -64,6 +76,28 @@ func New(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("%w: negative vertex count %d", ErrVertexRange, n)
 	}
+	norm, err := normalizeEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	merged := norm[:0]
+	for _, e := range norm {
+		k := len(merged)
+		if k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
+			merged[k-1].W += e.W
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	g := &Graph{n: n, edges: append([]Edge(nil), merged...)}
+	return g, nil
+}
+
+// normalizeEdges validates every edge against the shared constructor
+// rules (range, no self loops, positive finite weight), flips each to
+// U < V, and returns a fresh (U,V)-sorted slice. Duplicates survive;
+// callers merge them.
+func normalizeEdges(n int, edges []Edge) ([]Edge, error) {
 	norm := make([]Edge, 0, len(edges))
 	for _, e := range edges {
 		if e.U == e.V {
@@ -86,17 +120,7 @@ func New(n int, edges []Edge) (*Graph, error) {
 		}
 		return norm[i].V < norm[j].V
 	})
-	merged := norm[:0]
-	for _, e := range norm {
-		k := len(merged)
-		if k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
-			merged[k-1].W += e.W
-		} else {
-			merged = append(merged, e)
-		}
-	}
-	g := &Graph{n: n, edges: append([]Edge(nil), merged...)}
-	return g, nil
+	return norm, nil
 }
 
 // MustNew is New but panics on error; for tests and generators whose inputs
@@ -137,8 +161,22 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of (undirected) edges.
 func (g *Graph) M() int { return len(g.edges) }
 
-// Edges returns the internal edge slice. Callers must not mutate it.
+// Edges returns the internal edge slice, shared and strictly read-only.
+//
+// Ownership contract: the slice aliases the Graph's backing storage and
+// may simultaneously back other Graphs derived from this one (see the
+// immutable-share note on Graph). Callers must not mutate, sort, or
+// append through it — doing so would corrupt every aliased view and the
+// content hash. Use EdgesCopy when a mutable snapshot is needed.
 func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgesCopy returns a defensive copy of the edge list that the caller
+// owns and may freely mutate. Prefer Edges on read-only paths — this
+// accessor exists for the rare call site that needs to reorder or edit
+// edges in place.
+func (g *Graph) EdgesCopy() []Edge {
+	return append([]Edge(nil), g.edges...)
+}
 
 // Edge returns the i-th edge.
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
@@ -221,15 +259,23 @@ func (g *Graph) WeightedDegrees() []float64 {
 
 // Laplacian exports L_G as defined by eq. 1:
 // off-diagonal (p,q) = -w(p,q), diagonal (p,p) = Σ w(p,·).
+//
+// The CSR is built once and cached behind a sync.Once (the Graph is
+// immutable), so repeat exports on a hot graph — e.g. back-to-back jobs
+// against the same registry entry — skip the rebuild entirely. The
+// returned matrix is shared: callers must treat it as read-only.
 func (g *Graph) Laplacian() *sparse.CSR {
-	b := sparse.NewBuilder(g.n, g.n)
-	for _, e := range g.edges {
-		b.Add(e.U, e.V, -e.W)
-		b.Add(e.V, e.U, -e.W)
-		b.Add(e.U, e.U, e.W)
-		b.Add(e.V, e.V, e.W)
-	}
-	return b.Build()
+	g.lapOnce.Do(func() {
+		b := sparse.NewBuilder(g.n, g.n)
+		for _, e := range g.edges {
+			b.Add(e.U, e.V, -e.W)
+			b.Add(e.V, e.U, -e.W)
+			b.Add(e.U, e.U, e.W)
+			b.Add(e.V, e.V, e.W)
+		}
+		g.lap = b.Build()
+	})
+	return g.lap
 }
 
 // LapMulVec computes y = L_G x directly from the edge list, without
@@ -394,11 +440,52 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // AddEdges returns a new graph with extra edges appended (weights of
 // coincident edges merge). The receiver is unchanged.
+//
+// The receiver's edge list is already sorted and deduplicated, so only
+// the extras are sorted and the two lists merge in O(m+k log k) — the
+// densification loop in core calls this once per round, and the old
+// copy-everything-and-resort path dominated its profile. With no extras
+// the receiver's edge slice is shared outright (immutable-share, see
+// the Graph doc).
 func (g *Graph) AddEdges(extra []Edge) (*Graph, error) {
-	all := make([]Edge, 0, len(g.edges)+len(extra))
-	all = append(all, g.edges...)
-	all = append(all, extra...)
-	return New(g.n, all)
+	if len(extra) == 0 {
+		return &Graph{n: g.n, edges: g.edges}, nil
+	}
+	norm, err := normalizeEdges(g.n, extra)
+	if err != nil {
+		return nil, err
+	}
+	// Merge duplicates among the extras themselves.
+	merged := norm[:0]
+	for _, e := range norm {
+		k := len(merged)
+		if k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
+			merged[k-1].W += e.W
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	// Two-way merge of the sorted lists.
+	out := make([]Edge, 0, len(g.edges)+len(merged))
+	i, j := 0, 0
+	for i < len(g.edges) && j < len(merged) {
+		a, b := g.edges[i], merged[j]
+		switch {
+		case a.U < b.U || (a.U == b.U && a.V < b.V):
+			out = append(out, a)
+			i++
+		case b.U < a.U || (b.U == a.U && b.V < a.V):
+			out = append(out, b)
+			j++
+		default:
+			out = append(out, Edge{U: a.U, V: a.V, W: a.W + b.W})
+			i++
+			j++
+		}
+	}
+	out = append(out, g.edges[i:]...)
+	out = append(out, merged[j:]...)
+	return &Graph{n: g.n, edges: out}, nil
 }
 
 // InducedSubgraph returns the subgraph induced by the given vertex set,

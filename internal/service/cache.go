@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -201,12 +202,52 @@ func (p *SparsifyParams) canonMode() (params.Mode, error) {
 	return mode, nil
 }
 
+// The key builders below run on every job submission (key + family on
+// each cache lookup), so they append with strconv into one sized buffer
+// instead of going through fmt — the Sprintf spelling boxed every
+// argument and dominated the submit path's allocation profile. Floats
+// use the shortest round-trip form ('g', -1), which is injective on
+// float64, so distinct parameters always produce distinct keys.
+
+// appendKnobs appends the σ²-independent knob fields shared by key and
+// family, in the canonical field order.
+func (p SparsifyParams) appendKnobs(b []byte) []byte {
+	b = append(b, "|t="...)
+	b = strconv.AppendInt(b, int64(p.T), 10)
+	b = append(b, "|r="...)
+	b = strconv.AppendInt(b, int64(p.NumVectors), 10)
+	b = append(b, "|tree="...)
+	b = append(b, p.TreeAlg...)
+	b = append(b, "|seed="...)
+	b = strconv.AppendUint(b, p.Seed, 10)
+	b = append(b, "|max="...)
+	b = strconv.AppendInt(b, int64(p.MaxEdges), 10)
+	b = append(b, "|sh="...)
+	b = strconv.AppendInt(b, int64(p.Shards), 10)
+	b = append(b, "|part="...)
+	b = append(b, p.Partition...)
+	b = append(b, "|mode="...)
+	b = append(b, p.Mode...)
+	b = append(b, "|cl="...)
+	b = strconv.AppendInt(b, int64(p.CoarsenLevels), 10)
+	b = append(b, "|cr="...)
+	b = strconv.AppendFloat(b, p.CoarsenRatio, 'g', -1, 64)
+	return b
+}
+
+// keyBufLen sizes the append buffer so a typical key builds in exactly
+// one allocation (plus the final string conversion).
+const keyBufLen = 96
+
 // key returns the exact cache key for canonicalized params on a graph.
 // Workers is absent on purpose: it cannot affect the result.
 func (p SparsifyParams) key(graphHash string) string {
-	return fmt.Sprintf("%s|s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s|mode=%s|cl=%d|cr=%g",
-		graphHash, p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition,
-		p.Mode, p.CoarsenLevels, p.CoarsenRatio)
+	b := make([]byte, 0, len(graphHash)+keyBufLen)
+	b = append(b, graphHash...)
+	b = append(b, "|s2="...)
+	b = strconv.AppendFloat(b, p.SigmaSq, 'g', -1, 64)
+	b = p.appendKnobs(b)
+	return string(b)
 }
 
 // sessionKey fingerprints the parameters that shape a live maintainer —
@@ -217,8 +258,22 @@ func (p SparsifyParams) key(graphHash string) string {
 // state, not its behavior) and MaxEdges (it cannot compose with
 // maintenance at all).
 func (p SparsifyParams) sessionKey() string {
-	return fmt.Sprintf("s2=%.17g|t=%d|r=%d|tree=%s|seed=%d|sh=%d|part=%s",
-		p.SigmaSq, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.Shards, p.Partition)
+	b := make([]byte, 0, keyBufLen)
+	b = append(b, "s2="...)
+	b = strconv.AppendFloat(b, p.SigmaSq, 'g', -1, 64)
+	b = append(b, "|t="...)
+	b = strconv.AppendInt(b, int64(p.T), 10)
+	b = append(b, "|r="...)
+	b = strconv.AppendInt(b, int64(p.NumVectors), 10)
+	b = append(b, "|tree="...)
+	b = append(b, p.TreeAlg...)
+	b = append(b, "|seed="...)
+	b = strconv.AppendUint(b, p.Seed, 10)
+	b = append(b, "|sh="...)
+	b = strconv.AppendInt(b, int64(p.Shards), 10)
+	b = append(b, "|part="...)
+	b = append(b, p.Partition...)
+	return string(b)
 }
 
 // family groups cache lines that differ only in σ², enabling the
@@ -226,9 +281,10 @@ func (p SparsifyParams) sessionKey() string {
 // request for σ² ≥ 50 on the same graph with the same knobs. Sharded,
 // single-shot and multilevel families are disjoint.
 func (p SparsifyParams) family(graphHash string) string {
-	return fmt.Sprintf("%s|t=%d|r=%d|tree=%s|seed=%d|max=%d|sh=%d|part=%s|mode=%s|cl=%d|cr=%g",
-		graphHash, p.T, p.NumVectors, p.TreeAlg, p.Seed, p.MaxEdges, p.Shards, p.Partition,
-		p.Mode, p.CoarsenLevels, p.CoarsenRatio)
+	b := make([]byte, 0, len(graphHash)+keyBufLen)
+	b = append(b, graphHash...)
+	b = p.appendKnobs(b)
+	return string(b)
 }
 
 // CacheStats is a snapshot of cache effectiveness counters.

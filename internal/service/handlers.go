@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"graphspar/internal/cli"
@@ -50,6 +52,17 @@ type Config struct {
 	SessionMax         int
 	SessionBudgetBytes int64
 	SessionTTL         time.Duration
+	// Admission control (see admission.go). AdmissionQueueHigh sheds job
+	// submissions that would enqueue with 429 + Retry-After once the
+	// backlog holds this many jobs — a soft watermark below the hard
+	// Backlog bound's 503, reached while there is still room to say no
+	// politely. AdmissionStreamHigh caps concurrent stream requests the
+	// same way. Zero or negative leaves the corresponding watermark off
+	// (the library default; cmd/serve turns the queue watermark on).
+	// AdmissionRetryAfter is the Retry-After hint in seconds (0 = 1).
+	AdmissionQueueHigh  int
+	AdmissionStreamHigh int
+	AdmissionRetryAfter int
 	// Metrics is the registry the server instruments itself into and
 	// serves at GET /metrics (nil = obs.Default, which also carries the
 	// pipeline phase histograms). A process embedding several servers
@@ -101,6 +114,7 @@ type Server struct {
 	// is a full sparsification and must not dodge the -workers bound.
 	maintainSem chan struct{}
 	metrics     *serverMetrics
+	admission   *admissionController // nil = admit everything
 }
 
 // NewServer builds a ready-to-serve sparsifyd instance.
@@ -118,6 +132,8 @@ func NewServer(cfg Config) *Server {
 		metrics:  newServerMetrics(cfg.Metrics),
 	}
 	queue.setMetrics(s.metrics)
+	s.admission = newAdmissionController(cfg, s.metrics)
+	queue.setAdmission(s.admission)
 	if (cfg.Maintain != nil || cfg.Resume != nil) && cfg.SessionMax >= 0 {
 		s.sessions = sessions.NewManager(sessions.Options{
 			MaxSessions:      cfg.SessionMax,
@@ -198,12 +214,42 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// jsonEnc pairs a reusable buffer with an encoder bound to it, so the
+// per-response cost of writeJSON is the marshal alone — no new encoder
+// or buffer on the request path.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// maxPooledEncBytes keeps one giant response (a full job listing, say)
+// from pinning its buffer in the pool forever.
+const maxPooledEncBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	e := jsonEncPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Marshal failures are programming errors (unsupported type); the
+		// response is already committed to JSON, so emit a minimal error.
+		e.buf.Reset()
+		fmt.Fprintf(&e.buf, "{\"error\":%q}\n", err.Error())
+		code = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= maxPooledEncBytes {
+		jsonEncPool.Put(e)
+	}
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -217,6 +263,8 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrGraphExists), errors.Is(err, ErrGraphChanged):
 		return http.StatusConflict
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueClosed):
@@ -453,6 +501,10 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.queue.Submit(entry, req.SparsifyParams)
 	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.admission.shed(w, false)
+			return
+		}
 		writeErr(w, errStatus(err), err)
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,9 +154,10 @@ type Queue struct {
 	resume      ResumeFunc
 	currentHash func(name string) (string, bool)
 
-	workers  int
-	inFlight atomic.Int64
-	metrics  *serverMetrics // nil = uninstrumented
+	workers   int
+	inFlight  atomic.Int64
+	metrics   *serverMetrics       // nil = uninstrumented
+	admission *admissionController // nil = admit everything
 }
 
 // SetSessions attaches the persistent-session manager, the runner that
@@ -177,6 +179,16 @@ func (q *Queue) SetSessions(mgr *sessions.Manager, resume ResumeFunc, currentHas
 func (q *Queue) setMetrics(m *serverMetrics) {
 	q.mu.Lock()
 	q.metrics = m
+	q.mu.Unlock()
+}
+
+// setAdmission attaches admission control. The gate sits after the
+// cache lookup and before the enqueue, so cache hits are always served
+// but saturating backlogs shed with ErrSaturated instead of filling to
+// the hard ErrQueueFull bound.
+func (q *Queue) setAdmission(a *admissionController) {
+	q.mu.Lock()
+	q.admission = a
 	q.mu.Unlock()
 }
 
@@ -241,7 +253,7 @@ func (q *Queue) Submit(entry *GraphEntry, p SparsifyParams) (Job, error) {
 	}
 	q.seq++
 	job := &Job{
-		ID:         fmt.Sprintf("job-%d", q.seq),
+		ID:         "job-" + strconv.Itoa(q.seq),
 		GraphName:  entry.Name,
 		GraphHash:  entry.Hash,
 		Params:     p,
@@ -270,6 +282,10 @@ func (q *Queue) Submit(entry *GraphEntry, p SparsifyParams) (Job, error) {
 		}
 	}
 
+	if !q.admission.admitJob(len(q.pending)) {
+		q.mu.Unlock()
+		return Job{}, ErrSaturated
+	}
 	select {
 	case q.pending <- job:
 	default:

@@ -26,6 +26,8 @@ type serverMetrics struct {
 
 	streamBatches *obs.CounterVec // graphspar_stream_batches_total{outcome}
 	streamBatch   *obs.Histogram  // graphspar_stream_batch_seconds
+
+	admissionRejections *obs.CounterVec // graphspar_admission_rejections_total{route}
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -51,6 +53,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"outcome"),
 		streamBatch: reg.Histogram("graphspar_stream_batch_seconds",
 			"Stream batch apply latency (session acquire + maintain + registry swap).", nil),
+		admissionRejections: reg.CounterVec("graphspar_admission_rejections_total",
+			"Requests shed with 429 by admission control, by route (jobs | stream).",
+			"route"),
 	}
 }
 
@@ -74,6 +79,11 @@ func (s *Server) registerStateMetrics() {
 	reg.GaugeFunc("graphspar_graphs_registered",
 		"Graphs resident in the registry.",
 		func() float64 { return float64(s.registry.Len()) })
+	if s.admission != nil {
+		reg.GaugeFunc("graphspar_streams_in_flight",
+			"Stream requests currently held against the admission watermark.",
+			func() float64 { return float64(s.admission.inFlightStreams()) })
+	}
 
 	reg.CounterFunc("graphspar_result_cache_hits_total",
 		"Result-cache exact hits.",
@@ -179,6 +189,25 @@ const (
 	batchRejected batchOutcome = "rejected"
 	batchFailed   batchOutcome = "failed"
 )
+
+// admissionRouteLabel names the shedding route for the rejection
+// counter. Deliberately carries no //graphspar:bounded directive: every
+// return is a string literal, which the metriclabel analyzer recognizes
+// as bounded by construction.
+func admissionRouteLabel(stream bool) string {
+	if stream {
+		return "stream"
+	}
+	return "jobs"
+}
+
+// observeAdmissionRejection counts one request shed by admission control.
+func (m *serverMetrics) observeAdmissionRejection(stream bool) {
+	if m == nil {
+		return
+	}
+	m.admissionRejections.With(admissionRouteLabel(stream)).Inc()
+}
 
 // observeStreamBatch records one stream batch and its latency.
 func (m *serverMetrics) observeStreamBatch(outcome batchOutcome, d time.Duration) {

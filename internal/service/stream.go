@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 	"unicode"
 	"unicode/utf8"
@@ -57,6 +58,68 @@ func newStreamDecoder(r io.Reader, maxBatch int) *streamDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxStreamLineBytes)
 	return &streamDecoder{sc: sc, maxBatch: maxBatch}
+}
+
+// batchDecoder is the wire-format seam of the stream endpoint: both the
+// text/NDJSON decoder and the binary one yield reused batches with the
+// same Next contract, so the apply loop is format-blind.
+type batchDecoder interface {
+	// Next returns the next non-empty batch, or io.EOF at a clean end of
+	// stream. The returned slice is only valid until the next call.
+	Next() ([]dynamic.Update, error)
+}
+
+// binaryStreamDecoder adapts dynamic.BinaryReader to the batchDecoder
+// contract — the allocation-free peer of streamDecoder's text fast path
+// (same reused batch backing array, same batch-size bound).
+type binaryStreamDecoder struct {
+	r        *dynamic.BinaryReader
+	maxBatch int
+	batch    []dynamic.Update // reused backing array, as in streamDecoder
+}
+
+func newBinaryStreamDecoder(r io.Reader, maxBatch int) *binaryStreamDecoder {
+	return &binaryStreamDecoder{r: dynamic.NewBinaryReader(r), maxBatch: maxBatch}
+}
+
+func (d *binaryStreamDecoder) Next() ([]dynamic.Update, error) {
+	cur := d.batch[:0]
+	for {
+		u, commit, err := d.r.Next()
+		if err != nil {
+			d.batch = cur
+			if errors.Is(err, io.EOF) {
+				if len(cur) > 0 {
+					return cur, nil // final implicit batch
+				}
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if commit {
+			if len(cur) > 0 {
+				d.batch = cur
+				return cur, nil
+			}
+			continue // consecutive commits delimit nothing
+		}
+		cur = append(cur, u)
+		if d.maxBatch > 0 && len(cur) > d.maxBatch {
+			d.batch = cur
+			return nil, fmt.Errorf("record %d: %w: batch exceeds %d updates; split it with commit records",
+				d.r.Records(), dynamic.ErrBadUpdate, d.maxBatch)
+		}
+	}
+}
+
+// isBinaryStream reports whether the request negotiated the compact
+// binary event format. Only the media type is compared (parameters such
+// as charset are ignored); any other Content-Type — including none —
+// falls back to the text/NDJSON decoder, which self-discriminates per
+// line.
+func isBinaryStream(contentType string) bool {
+	mediaType, _, _ := strings.Cut(contentType, ";")
+	return strings.TrimSpace(mediaType) == dynamic.BinaryContentType
 }
 
 // Next returns the next non-empty batch, or io.EOF at end of stream. A
@@ -421,6 +484,14 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	// Admission: a stream holds a session (and possibly a cold maintainer
+	// build) for its whole life, so the watermark counts whole requests.
+	release, ok := s.admission.acquireStream()
+	if !ok {
+		s.admission.shed(w, true)
+		return
+	}
+	defer release()
 
 	// Result lines are flushed while the (possibly chunked) request body
 	// is still streaming in; HTTP/1.x needs full duplex opted in or the
@@ -438,7 +509,14 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 
 	trace := r.URL.Query().Get("trace") == "1"
 	key := p.sessionKey()
-	dec := newStreamDecoder(r.Body, maxPatchUpdates)
+	// Content-Type picks the wire format; both decoders satisfy the same
+	// batch contract.
+	var dec batchDecoder
+	if isBinaryStream(r.Header.Get("Content-Type")) {
+		dec = newBinaryStreamDecoder(r.Body, maxPatchUpdates)
+	} else {
+		dec = newStreamDecoder(r.Body, maxPatchUpdates)
+	}
 	var batches, applied, rejected int
 	var lastStats *sessions.Stats
 	for {

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"graphspar/internal/dynamic"
 )
@@ -35,9 +37,46 @@ func buildEventBody(n, batchEvery int, jsonMode bool) []byte {
 	return b.Bytes()
 }
 
+// buildBinaryEventBody renders the same event sequence as
+// buildEventBody's text form (rotating insert/reweight/delete, a commit
+// every batchEvery events) in the binary wire, so throughput and
+// allocation comparisons between the two decoders are apples to apples.
+func buildBinaryEventBody(t testing.TB, n, batchEvery int) []byte {
+	var buf []byte
+	for i := 0; i < n; i++ {
+		var u dynamic.Update
+		switch i % 3 {
+		case 2:
+			u = dynamic.Delete(i, i+1)
+		case 1:
+			u = dynamic.Reweight(i, i+1, 2.25)
+		default:
+			u = dynamic.Insert(i, i+1, 1.5)
+		}
+		var err error
+		if buf, err = dynamic.AppendBinaryUpdate(buf, u); err != nil {
+			t.Fatalf("encode event %d: %v", i, err)
+		}
+		if (i+1)%batchEvery == 0 {
+			buf = dynamic.AppendBinaryCommit(buf)
+		}
+	}
+	return buf
+}
+
 // drainDecoder decodes an entire body, returning events seen.
 func drainDecoder(body []byte) (int, error) {
 	d := newStreamDecoder(bytes.NewReader(body), 0)
+	return drainBatches(d)
+}
+
+// drainBinaryDecoder is drainDecoder for the binary wire.
+func drainBinaryDecoder(body []byte) (int, error) {
+	d := newBinaryStreamDecoder(bytes.NewReader(body), 0)
+	return drainBatches(d)
+}
+
+func drainBatches(d batchDecoder) (int, error) {
 	total := 0
 	for {
 		batch, err := d.Next()
@@ -97,18 +136,88 @@ func TestStreamDecodeAllocs(t *testing.T) {
 	}
 }
 
+// TestBinaryStreamDecodeAllocs holds the binary decoder to the same
+// constant-allocation ceiling as the text one: the ISSUE's fast-path
+// contract is binary allocs/op <= text allocs/op, and both must be
+// per-event zero. The ceiling matches TestStreamDecodeAllocs exactly so
+// neither wire can quietly regress past the other.
+func TestBinaryStreamDecodeAllocs(t *testing.T) {
+	const events = 4096
+	body := buildBinaryEventBody(t, events, 64)
+	if n, err := drainBinaryDecoder(body); err != nil || n != events {
+		t.Fatalf("drain: %d events, err %v", n, err)
+	}
+	per := testing.AllocsPerRun(10, func() {
+		if _, err := drainBinaryDecoder(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 40 {
+		t.Errorf("decoding %d binary events allocated %.0f times; want <= 40 (per-event allocations must be zero)", events, per)
+	}
+}
+
+// TestBinaryDecodeThroughput asserts the acceptance bar from the serving
+// fast-path work: the binary decoder must sustain at least 1.5x the text
+// decoder's event throughput on identical event streams. Timing-based,
+// so it only runs when CI opts in (BENCH_ASSERT_WIRE=1); local runs
+// and -race builds skip it rather than flake.
+func TestBinaryDecodeThroughput(t *testing.T) {
+	if os.Getenv("BENCH_ASSERT_WIRE") == "" {
+		t.Skip("timing-sensitive; set BENCH_ASSERT_WIRE=1 to enforce the 1.5x decode bar")
+	}
+	const events = 65536
+	text := buildEventBody(events, 100, false)
+	bin := buildBinaryEventBody(t, events, 100)
+	measure := func(drain func([]byte) (int, error), body []byte) float64 {
+		// Warm, then take the best of a few rounds to shed scheduler noise.
+		if n, err := drain(body); err != nil || n != events {
+			t.Fatalf("drain: %d events, err %v", n, err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < 5; round++ {
+			t0 := time.Now()
+			if _, err := drain(body); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return float64(events) / best.Seconds()
+	}
+	textRate := measure(drainDecoder, text)
+	binRate := measure(drainBinaryDecoder, bin)
+	ratio := binRate / textRate
+	t.Logf("text %.0f events/s, binary %.0f events/s (%.2fx)", textRate, binRate, ratio)
+	if ratio < 1.5 {
+		t.Errorf("binary decode is %.2fx text; want >= 1.5x", ratio)
+	}
+}
+
 func BenchmarkStreamDecode(b *testing.B) {
 	const events = 8192
 	for _, mode := range []struct {
-		name string
-		json bool
-	}{{"text", false}, {"json", true}} {
-		body := buildEventBody(events, 100, mode.json)
+		name  string
+		json  bool
+		bin   bool
+		drain func([]byte) (int, error)
+	}{
+		{name: "text", drain: drainDecoder},
+		{name: "json", json: true, drain: drainDecoder},
+		{name: "binary", bin: true, drain: drainBinaryDecoder},
+	} {
+		var body []byte
+		if mode.bin {
+			body = buildBinaryEventBody(b, events, 100)
+		} else {
+			body = buildEventBody(events, 100, mode.json)
+		}
 		b.Run(mode.name, func(b *testing.B) {
 			b.SetBytes(int64(len(body)))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				n, err := drainDecoder(body)
+				n, err := mode.drain(body)
 				if err != nil || n != events {
 					b.Fatalf("%d events, err %v", n, err)
 				}

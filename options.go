@@ -136,6 +136,13 @@ type config struct {
 	localRefreshRadius int
 	factorBudget       int
 	factorBudgetSet    bool
+
+	// workspace pools embedding and factorization scratch across every
+	// pipeline run this Sparsifier performs. New installs one per
+	// Sparsifier (it is concurrency-safe, so concurrent Runs share it);
+	// there is deliberately no public option — pooling never changes
+	// results, so there is nothing to configure.
+	workspace *core.Workspace
 }
 
 func defaultConfig() config {
@@ -215,6 +222,7 @@ func (c *config) coreOptions() core.Options {
 		Solver:        c.solver,
 		MaxEdges:      c.maxEdges,
 		EmbedWorkers:  c.embedWorkers,
+		Workspace:     c.workspace,
 		Seed:          c.seed,
 	}
 }

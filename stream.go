@@ -43,6 +43,24 @@ func ParseEvents(r io.Reader) ([][]Update, error) { return dynamic.ParseEvents(r
 // WriteEvents writes update batches in the ParseEvents format.
 func WriteEvents(w io.Writer, batches [][]Update) error { return dynamic.WriteEvents(w, batches) }
 
+// BinaryEventsContentType is the MIME type of the compact binary
+// edge-event framing (one op byte, uvarint endpoints, little-endian
+// float64 weight bits per record). The serving daemon's stream endpoint
+// negotiates it by Content-Type as a peer of NDJSON.
+const BinaryEventsContentType = dynamic.BinaryContentType
+
+// ReadBinaryEvents reads a binary edge-event stream (see
+// BinaryEventsContentType) into update batches, exactly mirroring
+// ParseEvents' batch semantics: commit records separate batches, empty
+// batches are dropped, and a trailing unterminated batch is kept.
+func ReadBinaryEvents(r io.Reader) ([][]Update, error) { return dynamic.ReadBinaryEvents(r) }
+
+// WriteBinaryEvents writes update batches in the binary edge-event
+// framing; ReadBinaryEvents(WriteBinaryEvents(b)) round-trips exactly.
+func WriteBinaryEvents(w io.Writer, batches [][]Update) error {
+	return dynamic.WriteBinaryEvents(w, batches)
+}
+
 // ApplyUpdates returns a copy of g with one batch of updates applied
 // (validating the batch exactly like Stream.Apply, including the
 // connectivity check), without touching any sparsifier state.
